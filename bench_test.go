@@ -1,0 +1,240 @@
+package tm3270_test
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation, reporting the simulated-machine metrics (cycles, VLIW
+// instructions, instructions-per-bit, relative performance) as custom
+// benchmark metrics alongside Go's wall-clock numbers.
+//
+//	go test -bench=. -benchmem
+//
+// Full paper-scale regeneration lives in cmd/tm3270bench; benchmarks
+// here run at reduced scale so the suite stays minutes-fast, while
+// preserving every experimental structure.
+
+import (
+	"testing"
+
+	"tm3270"
+	"tm3270/internal/config"
+	"tm3270/internal/experiments"
+	"tm3270/internal/workloads"
+)
+
+func benchParams() workloads.Params {
+	p := workloads.Small()
+	p.MemKB = 32
+	p.ImageW, p.ImageH, p.FieldH = 352, 288, 144
+	p.Mpeg2W, p.Mpeg2H = 352, 288
+	p.Mpeg2Frames = 2
+	p.CabacIBits, p.CabacPBits, p.CabacBBits = 20000, 12000, 15000
+	p.MP3Granules = 64
+	return p
+}
+
+// runWorkload executes one workload/config pair per benchmark iteration
+// and reports simulated cycles and CPI.
+func runWorkload(b *testing.B, w *workloads.Spec, tgt config.Target) {
+	b.Helper()
+	var cycles, instrs int64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(w, tgt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles, instrs = r.Stats.Cycles, r.Stats.Instrs
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+	b.ReportMetric(float64(cycles)/float64(instrs), "CPI")
+}
+
+// BenchmarkFigure7 runs every Table 5 workload on each configuration
+// A-D (the Figure 7 matrix).
+func BenchmarkFigure7(b *testing.B) {
+	p := benchParams()
+	targets := map[string]config.Target{
+		"A": config.ConfigA(), "B": config.ConfigB(),
+		"C": config.ConfigC(), "D": config.ConfigD(),
+	}
+	for _, name := range []string{
+		"memset", "memcpy", "filter", "rgb2yuv", "rgb2cmyk", "rgb2yiq",
+		"mpeg2_a", "mpeg2_b", "mpeg2_c", "filmdet", "majority_sel",
+	} {
+		for _, cfg := range []string{"A", "B", "C", "D"} {
+			b.Run(name+"/"+cfg, func(b *testing.B) {
+				w, err := workloads.ByName(name, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runWorkload(b, w, targets[cfg])
+			})
+		}
+	}
+}
+
+// BenchmarkFigure7Average reports the headline number: mean relative
+// performance of configuration D over A (the paper reports 2.29).
+func BenchmarkFigure7Average(b *testing.B) {
+	p := benchParams()
+	var d float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure7(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, d = experiments.Figure7Average(rows)
+	}
+	b.ReportMetric(d, "rel-perf-D/A")
+}
+
+// BenchmarkTable3CABAC measures the CABAC decoding process with and
+// without the SUPER_CABAC operations for each field type, reporting
+// VLIW instructions per stream bit and the speedup.
+func BenchmarkTable3CABAC(b *testing.B) {
+	p := benchParams()
+	fields := map[string]workloads.FieldType{
+		"I": workloads.FieldI(p.CabacIBits),
+		"P": workloads.FieldP(p.CabacPBits),
+		"B": workloads.FieldB(p.CabacBBits),
+	}
+	tgt := config.TM3270()
+	for _, fname := range []string{"I", "P", "B"} {
+		f := fields[fname]
+		b.Run(fname, func(b *testing.B) {
+			var ref, opt int64
+			for i := 0; i < b.N; i++ {
+				r1, err := experiments.Run(workloads.CABACRef(f), tgt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r2, err := experiments.Run(workloads.CABACOpt(f), tgt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ref, opt = r1.Stats.Instrs, r2.Stats.Instrs
+			}
+			bits := float64(workloads.StreamBits(f))
+			b.ReportMetric(float64(ref)/bits, "instr-per-bit")
+			b.ReportMetric(float64(opt)/bits, "instr-per-bit-opt")
+			b.ReportMetric(float64(ref)/float64(opt), "speedup")
+		})
+	}
+}
+
+// BenchmarkTable4Power evaluates the area/power model at the MP3
+// operating point (the Table 4 reproduction) and on the measured
+// mp3_synth workload.
+func BenchmarkTable4Power(b *testing.B) {
+	p := benchParams()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		r, err := tm3270.Run(workloads.MP3Synth(p), tm3270.TM3270())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr, err := tm3270.Power(r.Activity(), 1.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = pr.Total()
+	}
+	area := tm3270.Area(tm3270.TM3270())
+	b.ReportMetric(area.Total(), "area-mm2")
+	b.ReportMetric(total, "mW-per-MHz")
+}
+
+// BenchmarkFigure1Encoding measures instruction encoding density
+// (template-compressed bytes per VLIW instruction).
+func BenchmarkFigure1Encoding(b *testing.B) {
+	p := benchParams()
+	w, err := workloads.ByName("mpeg2_b", p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var perInstr float64
+	for i := 0; i < b.N; i++ {
+		code, _, enc, err := tm3270.Compile(w.Prog, tm3270.TM3270())
+		if err != nil {
+			b.Fatal(err)
+		}
+		perInstr = float64(enc.TotalBytes()) / float64(len(code.Instrs))
+	}
+	b.ReportMetric(perInstr, "bytes-per-instr")
+}
+
+// BenchmarkFigure3Prefetch measures the region-prefetch block walk.
+func BenchmarkFigure3Prefetch(b *testing.B) {
+	p := benchParams()
+	tgt := config.TM3270()
+	for _, pf := range []bool{false, true} {
+		name := "off"
+		if pf {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			runWorkload(b, workloads.BlockWalk(p, pf), tgt)
+		})
+	}
+}
+
+// BenchmarkAblationME measures the motion-estimation ablation of
+// Section 6 (collapsed loads and prefetching on the TM3270).
+func BenchmarkAblationME(b *testing.B) {
+	tgt := config.TM3270()
+	for _, v := range []struct {
+		name string
+		mp   workloads.MEParams
+	}{
+		{"base", workloads.MEParams{W: 176, H: 144}},
+		{"frac8", workloads.MEParams{W: 176, H: 144, UseFrac8: true}},
+		{"frac8_pf", workloads.MEParams{W: 176, H: 144, UseFrac8: true, Prefetch: true}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			runWorkload(b, workloads.MotionEst(v.mp), tgt)
+		})
+	}
+}
+
+// BenchmarkAblationPipeline isolates the pipeline-depth differences of
+// Table 6 (jump delay slots, load latency) on a branchy kernel with all
+// caches equal.
+func BenchmarkAblationPipeline(b *testing.B) {
+	p := benchParams()
+	shallow := config.TM3270()
+	shallow.Name = "shallow"
+	shallow.JumpDelaySlots = 3
+	shallow.LoadLatency = 3
+	deep := config.TM3270()
+	deep.Name = "deep"
+	for _, v := range []struct {
+		name string
+		tgt  config.Target
+	}{{"3slots-3cyc", shallow}, {"5slots-4cyc", deep}} {
+		b.Run(v.name, func(b *testing.B) {
+			w, err := workloads.ByName("cabac_ref_i", p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runWorkload(b, w, v.tgt)
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput reports the host-side speed of the
+// machine model itself (simulated instructions per host second).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	p := benchParams()
+	w, err := workloads.ByName("rgb2yuv", p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt := config.TM3270()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(w, tgt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = r.Stats.Instrs
+	}
+	b.ReportMetric(float64(instrs), "sim-instrs-per-op")
+}

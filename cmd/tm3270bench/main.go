@@ -1,0 +1,97 @@
+// Command tm3270bench regenerates the paper's tables and figures from
+// the processor model. With no flags it runs the complete evaluation at
+// paper scale; individual experiments select via flags, and -quick runs
+// reduced sizes.
+//
+// Usage:
+//
+//	tm3270bench [-quick] [-table1] [-table3] [-table4] [-table6]
+//	            [-figure1] [-figure3] [-figure7] [-ablation]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tm3270/internal/experiments"
+	"tm3270/internal/workloads"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced workload sizes")
+	t1 := flag.Bool("table1", false, "architecture summary")
+	t3 := flag.Bool("table3", false, "CABAC decoding measurements")
+	t4 := flag.Bool("table4", false, "area/power breakdown")
+	t6 := flag.Bool("table6", false, "TM3260 vs TM3270 characteristics")
+	f1 := flag.Bool("figure1", false, "instruction encoding statistics")
+	f3 := flag.Bool("figure3", false, "region prefetch block walk")
+	f7 := flag.Bool("figure7", false, "relative performance A-D")
+	ab := flag.Bool("ablation", false, "motion-estimation ablation")
+	sweep := flag.Bool("sweep", false, "cache capacity x line-size design sweep")
+	flag.Parse()
+
+	all := !(*t1 || *t3 || *t4 || *t6 || *f1 || *f3 || *f7 || *ab || *sweep)
+	p := workloads.Full()
+	meW, meH := 352, 288
+	if *quick {
+		p = workloads.Small()
+		p.ImageW, p.ImageH, p.FieldH = 128, 64, 32
+		p.Mpeg2W, p.Mpeg2H = 128, 64
+		p.CabacIBits, p.CabacPBits, p.CabacBBits = 20000, 12000, 15000
+		p.MP3Granules = 32
+		meW, meH = 64, 48
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	if all || *t1 {
+		run("table1", func() error { experiments.Table1(os.Stdout); return nil })
+	}
+	if all || *t6 {
+		run("table6", func() error { experiments.Table6(os.Stdout); return nil })
+	}
+	if all || *f1 {
+		run("figure1", func() error { return experiments.Figure1(os.Stdout, p) })
+	}
+	if all || *t4 {
+		run("table4", func() error { return experiments.Table4(os.Stdout, p) })
+	}
+	if all || *f3 {
+		run("figure3", func() error { return experiments.Figure3(os.Stdout, p) })
+	}
+	if all || *t3 {
+		run("table3", func() error {
+			rows, err := experiments.Table3(p)
+			if err != nil {
+				return err
+			}
+			experiments.PrintTable3(os.Stdout, rows)
+			return nil
+		})
+	}
+	if all || *ab {
+		run("ablation", func() error { return experiments.Ablation(os.Stdout, meW, meH) })
+	}
+	if all || *sweep {
+		run("sweep", func() error { return experiments.LineSizeSweep(os.Stdout, p) })
+	}
+	if all || *f7 {
+		run("figure7", func() error {
+			rows, err := experiments.Figure7(p)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure7(os.Stdout, rows)
+			return nil
+		})
+	}
+}

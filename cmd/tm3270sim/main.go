@@ -1,0 +1,145 @@
+// Command tm3270sim runs one workload on one processor configuration
+// and prints the full execution report: instruction/cycle counts, OPI,
+// CPI, stall breakdown, cache and bus statistics, code size, estimated
+// wall-clock time and the power-model evaluation.
+//
+// Usage:
+//
+//	tm3270sim [-config A|B|C|D|tm3260|tm3270] [-full] [-list] <workload>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tm3270/internal/config"
+	"tm3270/internal/encode"
+	"tm3270/internal/mem"
+	"tm3270/internal/power"
+	"tm3270/internal/regalloc"
+	"tm3270/internal/sched"
+	"tm3270/internal/tmsim"
+	"tm3270/internal/workloads"
+)
+
+func main() {
+	cfg := flag.String("config", "D", "target: A, B, C, D, tm3260 or tm3270")
+	full := flag.Bool("full", false, "paper-scale workload sizes (default: small)")
+	list := flag.Bool("list", false, "list workload names")
+	traceN := flag.Int64("trace", 0, "print an issue trace of the first N instructions")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(workloads.Names(), "\n"))
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tm3270sim [-config D] [-full] <workload>")
+		os.Exit(2)
+	}
+
+	var tgt config.Target
+	switch strings.ToUpper(*cfg) {
+	case "A", "TM3260":
+		tgt = config.ConfigA()
+	case "B":
+		tgt = config.ConfigB()
+	case "C":
+		tgt = config.ConfigC()
+	case "D", "TM3270":
+		tgt = config.ConfigD()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *cfg)
+		os.Exit(2)
+	}
+
+	p := workloads.Small()
+	if *full {
+		p = workloads.Full()
+	}
+	w, err := workloads.ByName(flag.Arg(0), p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	code, err := sched.Schedule(w.Prog, tgt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rm, err := regalloc.Allocate(w.Prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc, err := encode.Encode(code, rm, tmsim.CodeBase)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	image := mem.NewFunc()
+	if w.Init != nil {
+		w.Init(image)
+	}
+	m, err := tmsim.New(code, rm, image)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *traceN > 0 {
+		m.Trace = os.Stdout
+		m.TraceLimit = *traceN
+	}
+	for v, val := range w.Args {
+		m.SetReg(v, val)
+	}
+	if err := m.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if w.Check != nil {
+		if err := w.Check(image); err != nil {
+			fmt.Fprintf(os.Stderr, "output check failed: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	s := m.Stats
+
+	fmt.Printf("workload    %s (%s)\n", w.Name, w.Description)
+	fmt.Printf("target      %s @ %d MHz\n", tgt.Name, tgt.FreqMHz)
+	fmt.Printf("code        %d VLIW instructions, %d bytes (%.1f B/instr), %d source ops\n",
+		len(code.Instrs), enc.TotalBytes(),
+		float64(enc.TotalBytes())/float64(len(code.Instrs)), code.SrcOps)
+	fmt.Printf("executed    %d instrs, %d ops (%d guarded off)\n",
+		s.Instrs, s.Ops, s.Ops-s.ExecOps)
+	fmt.Printf("cycles      %d  (CPI %.3f, OPI %.2f)\n", s.Cycles, s.CPI(), s.OPI())
+	fmt.Printf("stalls      fetch %d, data %d\n", s.FetchStalls, s.DataStalls)
+	fmt.Printf("jumps       %d executed, %d taken\n", s.Jumps, s.Taken)
+	fmt.Printf("dcache      %d/%d load hit/miss, %d/%d store hit/miss, %d merges, %d copybacks\n",
+		m.DC.Stats.LoadHits, m.DC.Stats.LoadMisses,
+		m.DC.Stats.StoreHits, m.DC.Stats.StoreMisses,
+		m.DC.Stats.MergeMisses, m.DC.Stats.Copybacks)
+	if m.PF != nil {
+		fmt.Printf("prefetch    %d triggers, %d issued, %d useful, %d partial hits\n",
+			m.PF.Triggers, m.DC.Stats.PrefIssued, m.DC.Stats.PrefUseful, m.DC.Stats.PartialHits)
+	}
+	fmt.Printf("icache      %d chunks, %d misses\n", m.IC.Stats.Chunks, m.IC.Stats.Misses)
+	fmt.Printf("bus         %d reads / %d writes, %d B in / %d B out\n",
+		m.BIU.Reads, m.BIU.Writes, m.BIU.BytesRead, m.BIU.BytesWritten)
+	fmt.Printf("time        %.3f ms at %d MHz\n", s.Seconds(&tgt)*1e3, tgt.FreqMHz)
+
+	act := power.Activity{
+		Utilization:    float64(s.Instrs) / float64(s.Cycles),
+		OPI:            s.OPI(),
+		MemOpsPerInstr: float64(s.LoadOps+s.StoreOps) / float64(s.Instrs),
+		BusBytesPerCyc: float64(m.BIU.TotalBytes()) / float64(s.Cycles),
+	}
+	if pr, err := power.Power(act, power.NominalVoltage); err == nil {
+		fmt.Printf("power       %.3f mW/MHz at 1.2V -> %.1f mW at %d MHz\n",
+			pr.Total(), pr.MilliWattsAt(float64(tgt.FreqMHz)), tgt.FreqMHz)
+	}
+}

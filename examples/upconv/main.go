@@ -1,0 +1,46 @@
+// Temporal up-conversion example (paper reference [14]): synthesize an
+// intermediate frame between two source frames by motion-compensated
+// averaging, with and without hardware prefetch regions covering the
+// two source frames. The prefetch variant programs the memory-mapped
+// PFn_START/END/STRIDE registers from inside the kernel, exactly as
+// TM3270 software does.
+//
+//	go run ./examples/upconv
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tm3270"
+	"tm3270/internal/workloads"
+)
+
+func main() {
+	p := tm3270.FullParams() // 720x480 frames
+	tgt := tm3270.TM3270()
+
+	off, err := tm3270.Run(workloads.Upconv(p, false), tgt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	on, err := tm3270.Run(workloads.Upconv(p, true), tgt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("temporal up-conversion, %dx%d, 8x8 motion-compensated blocks\n\n", p.ImageW, p.ImageH)
+	rep := func(name string, r *tm3270.Result) {
+		fmt.Printf("%-14s %9d cycles  %8d data stalls  %6d load misses",
+			name, r.Stats.Cycles, r.Stats.DataStalls, r.Machine.DC.Stats.LoadMisses)
+		if r.Machine.PF != nil && r.Machine.PF.Issued > 0 {
+			fmt.Printf("  %5d prefetches", r.Machine.PF.Issued)
+		}
+		fmt.Println()
+	}
+	rep("no prefetch", off)
+	rep("two regions", on)
+	fmt.Printf("\nspeedup %.2fx (paper [14]: prefetching buys >20%% on up-conversion)\n",
+		float64(off.Stats.Cycles)/float64(on.Stats.Cycles))
+	fmt.Println("interpolated frames verified pixel-exact against the Go reference")
+}

@@ -1,0 +1,3 @@
+module tm3270
+
+go 1.22

@@ -1,0 +1,218 @@
+package cabac
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableShapes(t *testing.T) {
+	for s := 0; s < NumStates; s++ {
+		for q := 0; q < 4; q++ {
+			r := rangeLPS[s][q]
+			if r < 2 || r > 240 {
+				t.Errorf("rangeLPS[%d][%d] = %d out of [2,240]", s, q, r)
+			}
+			// The MPS sub-range must stay positive for any range in the
+			// bucket (minimum range is 256+64q).
+			if r >= uint32(256+64*q) {
+				t.Errorf("rangeLPS[%d][%d] = %d leaves no MPS range", s, q, r)
+			}
+		}
+		// LPS probability decreases with state, so the LPS range must be
+		// non-increasing in s for a fixed bucket.
+		if s > 0 {
+			for q := 0; q < 4; q++ {
+				if rangeLPS[s][q] > rangeLPS[s-1][q] {
+					t.Errorf("rangeLPS not monotonic at state %d bucket %d", s, q)
+				}
+			}
+		}
+		// And increasing in the bucket for a fixed state.
+		for q := 1; q < 4; q++ {
+			if rangeLPS[s][q] < rangeLPS[s][q-1] {
+				t.Errorf("rangeLPS not monotonic in bucket at state %d", s)
+			}
+		}
+	}
+	for s := 0; s < NumStates; s++ {
+		if int(nextMPS[s]) != min(s+1, NumStates-1) {
+			t.Errorf("nextMPS[%d] = %d", s, nextMPS[s])
+		}
+		if int(nextLPS[s]) > s {
+			t.Errorf("nextLPS[%d] = %d must not exceed s (LPS ages the model down)", s, nextLPS[s])
+		}
+	}
+	if nextLPS[0] != 0 {
+		t.Errorf("nextLPS[0] = %d, want 0", nextLPS[0])
+	}
+}
+
+func TestStepInvariants(t *testing.T) {
+	f := func(value uint16, rngSeed uint16, aligned uint32, state, mps uint8) bool {
+		rng := uint32(rngSeed%255) + 256
+		v := uint32(value) % rng
+		res := Step(v, rng, aligned, uint32(state&63), uint32(mps&1))
+		if res.Range < 256 || res.Range > 510 {
+			return false
+		}
+		if res.Consumed < 0 || res.Consumed > 8 {
+			return false
+		}
+		if res.State >= NumStates {
+			return false
+		}
+		return res.MPS <= 1 && res.Bit <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepMPSvsLPS(t *testing.T) {
+	// value < range-rangeLPS must decode the MPS; otherwise the LPS.
+	rng := uint32(400)
+	state, mps := uint32(10), uint32(1)
+	rlps := RangeLPS(state, (rng>>6)&3)
+	mpsRes := Step(rng-rlps-1, rng, 0, state, mps)
+	if mpsRes.Bit != mps {
+		t.Errorf("MPS path decoded %d", mpsRes.Bit)
+	}
+	if mpsRes.State != NextMPS(state) {
+		t.Errorf("MPS state %d, want %d", mpsRes.State, NextMPS(state))
+	}
+	lpsRes := Step(rng-rlps, rng, 0, state, mps)
+	if lpsRes.Bit != mps^1 {
+		t.Errorf("LPS path decoded %d", lpsRes.Bit)
+	}
+	if lpsRes.State != NextLPS(state) {
+		t.Errorf("LPS state %d, want %d", lpsRes.State, NextLPS(state))
+	}
+	if lpsRes.MPS != mps {
+		t.Errorf("MPS must not flip at state %d", state)
+	}
+	// At state 0 the MPS flips on an LPS.
+	rlps0 := RangeLPS(0, (rng>>6)&3)
+	flip := Step(rng-rlps0, rng, 0, 0, 1)
+	if flip.MPS != 0 {
+		t.Errorf("MPS must flip at state 0, got %d", flip.MPS)
+	}
+}
+
+func TestContextPackRoundTrip(t *testing.T) {
+	f := func(state, mps uint8) bool {
+		c := Context{State: state & 63, MPS: mps & 1}
+		return UnpackContext(c.Pack()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundTripSkewed encodes and decodes a heavily skewed source.
+func TestRoundTripSkewed(t *testing.T) {
+	testRoundTrip(t, 1, 20000, 4, 0.05)
+}
+
+// TestRoundTripBalanced uses an equiprobable source (worst case for the
+// probability model, stresses state-0 MPS flips).
+func TestRoundTripBalanced(t *testing.T) {
+	testRoundTrip(t, 2, 20000, 4, 0.5)
+}
+
+// TestRoundTripManyContexts spreads symbols over many contexts.
+func TestRoundTripManyContexts(t *testing.T) {
+	testRoundTrip(t, 3, 30000, 64, 0.2)
+}
+
+func TestRoundTripTiny(t *testing.T) {
+	for n := 1; n <= 32; n++ {
+		testRoundTrip(t, int64(100+n), n, 2, 0.3)
+	}
+}
+
+func testRoundTrip(t *testing.T, seed int64, n, nCtx int, pOne float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	encCtx := make([]Context, nCtx)
+	decCtx := make([]Context, nCtx)
+	enc := NewEncoder()
+	bits := make([]uint8, n)
+	ctxOf := make([]int, n)
+	for i := range bits {
+		b := uint8(0)
+		if rng.Float64() < pOne {
+			b = 1
+		}
+		ci := rng.Intn(nCtx)
+		bits[i], ctxOf[i] = b, ci
+		enc.EncodeBit(&encCtx[ci], b)
+	}
+	stream := enc.Flush()
+	dec := NewDecoder(stream)
+	for i := range bits {
+		got := dec.DecodeBit(&decCtx[ci(t, ctxOf, i)])
+		if got != bits[i] {
+			t.Fatalf("seed %d: bit %d decoded %d, want %d", seed, i, got, bits[i])
+		}
+	}
+	// The adapted contexts must agree between encoder and decoder.
+	for i := range encCtx {
+		if encCtx[i] != decCtx[i] {
+			t.Fatalf("context %d diverged: enc %+v dec %+v", i, encCtx[i], decCtx[i])
+		}
+	}
+}
+
+func ci(t *testing.T, ctxOf []int, i int) int {
+	t.Helper()
+	return ctxOf[i]
+}
+
+// TestCompression checks that a skewed source compresses below one bit
+// per symbol and a balanced source does not expand much.
+func TestCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	enc := NewEncoder()
+	var ctx Context
+	const n = 50000
+	for i := 0; i < n; i++ {
+		b := uint8(0)
+		if rng.Float64() < 0.03 {
+			b = 1
+		}
+		enc.EncodeBit(&ctx, b)
+	}
+	if bits := enc.NumBits(); bits > n/3 {
+		t.Errorf("skewed source: %d bits for %d symbols, expected strong compression", bits, n)
+	}
+
+	enc2 := NewEncoder()
+	var ctx2 Context
+	for i := 0; i < n; i++ {
+		enc2.EncodeBit(&ctx2, uint8(rng.Intn(2)))
+	}
+	if bits := enc2.NumBits(); bits > n*11/10 {
+		t.Errorf("balanced source: %d bits for %d symbols, expansion too large", bits, n)
+	}
+}
+
+func TestDecoderBitsConsumed(t *testing.T) {
+	enc := NewEncoder()
+	var c Context
+	for i := 0; i < 100; i++ {
+		enc.EncodeBit(&c, uint8(i)&1)
+	}
+	stream := enc.Flush()
+	dec := NewDecoder(stream)
+	var d Context
+	for i := 0; i < 100; i++ {
+		dec.DecodeBit(&d)
+	}
+	if dec.BitsConsumed() > 8*len(stream) {
+		t.Errorf("consumed %d bits from a %d-bit stream", dec.BitsConsumed(), 8*len(stream))
+	}
+	if dec.BitsConsumed() < 9 {
+		t.Errorf("consumed %d bits, must include 9 init bits", dec.BitsConsumed())
+	}
+}

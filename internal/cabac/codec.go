@@ -1,0 +1,181 @@
+package cabac
+
+// Context is one adaptive probability model: a 6-bit state and the
+// current most-probable-symbol value, exactly the (state, mps) pair the
+// TM3270 packs into one 16-bit DUAL16 sub-operand.
+type Context struct {
+	State uint8 // 0..63
+	MPS   uint8 // 0 or 1
+}
+
+// Pack returns the DUAL16(state, mps) register image used by the
+// SUPER_CABAC operations: state in bits [31:16], mps in bits [15:0].
+func (c Context) Pack() uint32 { return uint32(c.State)<<16 | uint32(c.MPS) }
+
+// UnpackContext is the inverse of Context.Pack.
+func UnpackContext(v uint32) Context {
+	return Context{State: uint8(v>>16) & 63, MPS: uint8(v & 1)}
+}
+
+// Encoder is a binary arithmetic encoder producing bitstreams decodable
+// by Decoder and by the SUPER_CABAC operation semantics. It implements
+// the classic low/range coder with carry counting ("bits outstanding"),
+// emitting bits most-significant first.
+type Encoder struct {
+	low         uint32
+	rng         uint32
+	outstanding int
+	firstBit    bool
+
+	buf     []byte
+	bitPos  uint // bit position within the last byte (0..7)
+	numBits int
+}
+
+// NewEncoder returns an encoder ready to encode the first symbol.
+func NewEncoder() *Encoder {
+	return &Encoder{rng: 510, firstBit: true}
+}
+
+// NumBits returns the number of bits emitted so far (excluding flush).
+func (e *Encoder) NumBits() int { return e.numBits }
+
+func (e *Encoder) writeBit(b uint32) {
+	if e.bitPos == 0 {
+		e.buf = append(e.buf, 0)
+	}
+	if b != 0 {
+		e.buf[len(e.buf)-1] |= 0x80 >> e.bitPos
+	}
+	e.bitPos = (e.bitPos + 1) & 7
+	e.numBits++
+}
+
+// putBit emits b, then resolves any outstanding straddle bits as !b.
+// The very first bit of a stream is always zero and is skipped; the
+// decoder compensates by reading only 9 initialization bits.
+func (e *Encoder) putBit(b uint32) {
+	if e.firstBit {
+		e.firstBit = false
+	} else {
+		e.writeBit(b)
+	}
+	for e.outstanding > 0 {
+		e.writeBit(b ^ 1)
+		e.outstanding--
+	}
+}
+
+// EncodeBit encodes one binary symbol with the adaptive context ctx,
+// updating the context in place.
+func (e *Encoder) EncodeBit(ctx *Context, bit uint8) {
+	rlps := RangeLPS(uint32(ctx.State), (e.rng>>6)&3)
+	e.rng -= rlps
+	if bit == ctx.MPS {
+		ctx.State = uint8(NextMPS(uint32(ctx.State)))
+	} else {
+		e.low += e.rng
+		e.rng = rlps
+		if ctx.State == 0 {
+			ctx.MPS ^= 1
+		}
+		ctx.State = uint8(NextLPS(uint32(ctx.State)))
+	}
+	for e.rng < 256 {
+		switch {
+		case e.low >= 512:
+			e.putBit(1)
+			e.low -= 512
+		case e.low+e.rng <= 512:
+			e.putBit(0)
+		default:
+			e.outstanding++
+			e.low -= 256
+		}
+		e.low <<= 1
+		e.rng <<= 1
+	}
+}
+
+// Flush terminates the stream and returns the encoded bytes. It pins the
+// codeword to a point inside the final interval and appends four zero
+// padding bytes so that window-based decoders may safely over-read.
+func (e *Encoder) Flush() []byte {
+	v := e.low + 1 // any point in [low, low+range) does; range >= 2
+	for i := 9; i >= 0; i-- {
+		e.putBit((v >> uint(i)) & 1)
+	}
+	for e.bitPos != 0 {
+		e.writeBit(0)
+	}
+	e.buf = append(e.buf, 0, 0, 0, 0)
+	return e.buf
+}
+
+// Decoder is the reference software decoder: a direct transcription of
+// the paper's Figure 2 "biari_decode_symbol", operating on the same
+// (stream_data, stream_bit_position) 32-bit window discipline the
+// TM3270 kernels use.
+type Decoder struct {
+	stream []byte
+
+	value   uint32 // coding value, 10 bits
+	rng     uint32 // coding range, 9 bits
+	bytePos int    // index of the first byte of the current window
+	bitPos  uint32 // stream_bit_position within the window
+	window  uint32 // stream_data: 32 bits starting at bytePos
+	bits    int    // total stream bits consumed (init + renorm)
+}
+
+// NewDecoder starts decoding the given stream.
+func NewDecoder(stream []byte) *Decoder {
+	d := &Decoder{stream: stream, rng: 510}
+	d.loadWindow()
+	// Initialization: the coding value is the first 9 stream bits (the
+	// 10th, most significant, bit is always zero by construction).
+	d.value = d.window >> (32 - 9)
+	d.bitPos = 9
+	d.bits = 9
+	d.refill()
+	return d
+}
+
+func (d *Decoder) byteAt(i int) uint32 {
+	if i < len(d.stream) {
+		return uint32(d.stream[i])
+	}
+	return 0
+}
+
+func (d *Decoder) loadWindow() {
+	d.window = d.byteAt(d.bytePos)<<24 | d.byteAt(d.bytePos+1)<<16 |
+		d.byteAt(d.bytePos+2)<<8 | d.byteAt(d.bytePos+3)
+}
+
+// refill keeps stream_bit_position under 16 so that a decode step (which
+// consumes at most 8 bits) never exhausts the 32-bit window. This is the
+// same guarded refill sequence the DSL kernels use.
+func (d *Decoder) refill() {
+	for d.bitPos >= 16 {
+		d.bytePos += 2
+		d.bitPos -= 16
+		d.loadWindow()
+	}
+}
+
+// BitsConsumed returns the total number of stream bits read.
+func (d *Decoder) BitsConsumed() int { return d.bits }
+
+// DecodeBit decodes one binary symbol with the adaptive context ctx,
+// updating the context in place.
+func (d *Decoder) DecodeBit(ctx *Context) uint8 {
+	res := Step(d.value, d.rng, d.window<<d.bitPos, uint32(ctx.State), uint32(ctx.MPS))
+	d.value = res.Value
+	d.rng = res.Range
+	ctx.State = uint8(res.State)
+	ctx.MPS = uint8(res.MPS)
+	d.bitPos += uint32(res.Consumed)
+	d.bits += res.Consumed
+	d.refill()
+	return uint8(res.Bit)
+}

@@ -1,0 +1,136 @@
+// Package cabac implements the context-based adaptive binary arithmetic
+// coding substrate used by the TM3270 CABAC operations and by the H.264-
+// style entropy decoding workloads: the 64-state probability model, a
+// binary arithmetic encoder (to generate decodable bitstreams), and the
+// reference decoder matching Figure 2 of the paper.
+//
+// The probability tables are structurally identical to H.264's (a 64x4
+// LPS range table quantized on range bits [7:6], and MPS/LPS state
+// transition tables) but are derived here from the exponential-aging
+// model of the CABAC paper (Marpe et al., 2003) rather than copied from
+// the standard. Encoder, decoder and the TM3270 CABAC operations all
+// share these tables, so every bitstream round-trips exactly; the
+// instruction-count measurements of Table 3 are insensitive to the
+// specific table values.
+package cabac
+
+import "math"
+
+// NumStates is the number of probability states of a context model.
+const NumStates = 64
+
+// alpha is the aging factor of the exponential probability model:
+// pLPS(s) = 0.5 * alpha^s.
+const alpha = 0.95
+
+var (
+	// rangeLPS[s][q] is the sub-range assigned to the least probable
+	// symbol in state s when the coding range, quantized by bits [7:6],
+	// falls in bucket q.
+	rangeLPS [NumStates][4]uint32
+
+	// nextMPS[s] and nextLPS[s] are the state transitions after
+	// observing the most/least probable symbol.
+	nextMPS [NumStates]uint8
+	nextLPS [NumStates]uint8
+)
+
+func init() {
+	for s := 0; s < NumStates; s++ {
+		p := pLPS(s)
+		for q := 0; q < 4; q++ {
+			// Representative range value for bucket q: the midpoint of
+			// [256+64q, 256+64(q+1)).
+			rep := float64(256 + 64*q + 32)
+			r := uint32(math.Round(rep * p))
+			if r < 2 {
+				r = 2
+			}
+			if r > 240 {
+				r = 240
+			}
+			rangeLPS[s][q] = r
+		}
+		if s < NumStates-1 {
+			nextMPS[s] = uint8(s + 1)
+		} else {
+			nextMPS[s] = uint8(s)
+		}
+		// After an LPS the probability estimate ages toward the LPS:
+		// p' = alpha*p + (1-alpha). Map p' back to the nearest state.
+		pp := alpha*p + (1 - alpha)
+		ns := int(math.Round(math.Log(pp/0.5) / math.Log(alpha)))
+		if ns < 0 {
+			ns = 0
+		}
+		if ns > NumStates-2 {
+			ns = NumStates - 2
+		}
+		nextLPS[s] = uint8(ns)
+	}
+}
+
+func pLPS(s int) float64 { return 0.5 * math.Pow(alpha, float64(s)) }
+
+// RangeLPS returns the LPS sub-range for probability state s (0..63) and
+// the quantized range bucket q (0..3, i.e. (range>>6)&3).
+func RangeLPS(s, q uint32) uint32 { return rangeLPS[s&63][q&3] }
+
+// NextMPS returns the state reached from s after an MPS.
+func NextMPS(s uint32) uint32 { return uint32(nextMPS[s&63]) }
+
+// NextLPS returns the state reached from s after an LPS.
+func NextLPS(s uint32) uint32 { return uint32(nextLPS[s&63]) }
+
+// StepResult is the outcome of one binary arithmetic decoding step
+// (Figure 2 of the paper, "biari_decode_symbol"), covering both the
+// context update (value, range, state, mps) and the bitstream side
+// (decoded bit, number of stream bits consumed by renormalization).
+type StepResult struct {
+	Value    uint32 // new coding value (10 bits)
+	Range    uint32 // new coding range (9 bits, in [256, 511])
+	State    uint32 // new probability state (6 bits)
+	MPS      uint32 // new most-probable-symbol value (1 bit)
+	Bit      uint32 // decoded binary value
+	Consumed int    // stream bits consumed (0..8)
+}
+
+// Step decodes a single binary symbol. streamAligned must hold the
+// bitstream window left-aligned so that its most significant bit is the
+// next unread stream bit (i.e. stream_data << stream_bit_position).
+//
+// It is the shared core of the reference software decoder and of the
+// SUPER_CABAC_CTX / SUPER_CABAC_STR operation semantics.
+func Step(value, rng, streamAligned, state, mps uint32) StepResult {
+	rlps := RangeLPS(state, (rng>>6)&3)
+	tempRange := rng - rlps
+	var res StepResult
+	if value < tempRange {
+		// Most probable symbol.
+		res.Value = value
+		res.Range = tempRange
+		res.Bit = mps
+		res.MPS = mps
+		res.State = NextMPS(state)
+	} else {
+		// Least probable symbol. The MPS flips when the state has aged
+		// all the way down to equiprobability (state 0), as in H.264.
+		res.Value = value - tempRange
+		res.Range = rlps
+		res.Bit = mps ^ 1
+		if state == 0 {
+			res.MPS = mps ^ 1
+		} else {
+			res.MPS = mps
+		}
+		res.State = NextLPS(state)
+	}
+	// Renormalization: at most 8 bits can be consumed per symbol.
+	for res.Range < 256 {
+		res.Value = (res.Value << 1) | ((streamAligned >> 31) & 1)
+		res.Range <<= 1
+		streamAligned <<= 1
+		res.Consumed++
+	}
+	return res
+}

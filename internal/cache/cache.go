@@ -1,0 +1,233 @@
+// Package cache provides the set-associative cache arrays shared by the
+// instruction and data caches: tag lookup, true-LRU replacement and
+// optional per-byte validity (the TM3270 data cache tracks byte validity
+// to support its allocate-on-write-miss policy).
+package cache
+
+import "tm3270/internal/config"
+
+// Line is one cache line's control state.
+type Line struct {
+	Tag   uint32
+	Valid bool
+	Dirty bool
+	// ReadyAt is the CPU cycle at which an in-flight fill (prefetch or
+	// fetch-on-write) delivers data; accesses before it stall.
+	ReadyAt int64
+	// byteValid tracks per-byte validity, allocated lazily for caches
+	// with byte-validity enabled.
+	byteValid []uint64
+}
+
+// Cache is a set-associative array with true LRU.
+type Cache struct {
+	cfg        config.CacheConfig
+	byteValid  bool
+	sets       [][]Line
+	lru        [][]uint8 // lru[set] lists ways, most recent first
+	offsetBits uint
+	indexMask  uint32
+}
+
+// New builds the arrays for the given geometry. byteValidity enables
+// per-byte valid tracking (TM3270 data cache).
+func New(cfg config.CacheConfig, byteValidity bool) *Cache {
+	sets := cfg.Sets()
+	c := &Cache{cfg: cfg, byteValid: byteValidity}
+	c.sets = make([][]Line, sets)
+	c.lru = make([][]uint8, sets)
+	for i := range c.sets {
+		c.sets[i] = make([]Line, cfg.Ways)
+		order := make([]uint8, cfg.Ways)
+		for w := range order {
+			order[w] = uint8(w)
+		}
+		c.lru[i] = order
+	}
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		c.offsetBits++
+	}
+	c.indexMask = uint32(sets - 1)
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() config.CacheConfig { return c.cfg }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint32) uint32 {
+	return addr &^ (uint32(c.cfg.LineBytes) - 1)
+}
+
+// Index returns the set index of addr.
+func (c *Cache) Index(addr uint32) uint32 { return (addr >> c.offsetBits) & c.indexMask }
+
+func (c *Cache) tag(addr uint32) uint32 { return addr >> c.offsetBits >> setBits(c.indexMask) }
+
+func setBits(mask uint32) uint {
+	n := uint(0)
+	for mask != 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}
+
+// Lookup finds addr's line. It does not update LRU state.
+func (c *Cache) Lookup(addr uint32) (*Line, bool) {
+	set := c.Index(addr)
+	tag := c.tag(addr)
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.Valid && l.Tag == tag {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+// Touch marks addr's line most recently used.
+func (c *Cache) Touch(addr uint32) {
+	set := c.Index(addr)
+	tag := c.tag(addr)
+	for w := range c.sets[set] {
+		if c.sets[set][w].Valid && c.sets[set][w].Tag == tag {
+			c.promote(set, uint8(w))
+			return
+		}
+	}
+}
+
+func (c *Cache) promote(set uint32, way uint8) {
+	order := c.lru[set]
+	for i, w := range order {
+		if w == way {
+			copy(order[1:i+1], order[:i])
+			order[0] = way
+			return
+		}
+	}
+}
+
+// Victim selects the line to replace in addr's set: an invalid way if
+// one exists, otherwise the least recently used. It returns the line
+// for the caller to inspect (copyback) and then overwrite via Fill.
+func (c *Cache) Victim(addr uint32) *Line {
+	set := c.Index(addr)
+	for w := range c.sets[set] {
+		if !c.sets[set][w].Valid {
+			return &c.sets[set][w]
+		}
+	}
+	order := c.lru[set]
+	return &c.sets[set][order[len(order)-1]]
+}
+
+// VictimAddr reconstructs the line-aligned address of a valid line given
+// any address mapping to the same set.
+func (c *Cache) VictimAddr(l *Line, addrInSet uint32) uint32 {
+	set := c.Index(addrInSet)
+	return l.Tag<<(c.offsetBits+setBits(c.indexMask)) | set<<c.offsetBits
+}
+
+// Fill installs addr's line into the given way slot and makes it MRU.
+// allValid marks every byte valid (a demand fetch); otherwise the line
+// starts with no valid bytes (a write-miss allocation).
+func (c *Cache) Fill(l *Line, addr uint32, allValid bool) {
+	set := c.Index(addr)
+	way := c.wayOf(set, l)
+	l.Tag = c.tag(addr)
+	l.Valid = true
+	l.Dirty = false
+	l.ReadyAt = 0
+	if c.byteValid {
+		words := (c.cfg.LineBytes + 63) / 64
+		if l.byteValid == nil {
+			l.byteValid = make([]uint64, words)
+		}
+		fill := uint64(0)
+		if allValid {
+			fill = ^uint64(0)
+		}
+		for i := range l.byteValid {
+			l.byteValid[i] = fill
+		}
+	}
+	c.promote(set, way)
+}
+
+func (c *Cache) wayOf(set uint32, l *Line) uint8 {
+	for w := range c.sets[set] {
+		if &c.sets[set][w] == l {
+			return uint8(w)
+		}
+	}
+	return 0
+}
+
+// MarkValid marks [addr, addr+n) valid within its line (stores under
+// allocate-on-write-miss).
+func (c *Cache) MarkValid(l *Line, addr uint32, n int) {
+	if !c.byteValid || l.byteValid == nil {
+		return
+	}
+	off := int(addr) & (c.cfg.LineBytes - 1)
+	for i := 0; i < n && off+i < c.cfg.LineBytes; i++ {
+		b := off + i
+		l.byteValid[b>>6] |= 1 << uint(b&63)
+	}
+}
+
+// BytesValid reports whether all of [addr, addr+n) within the line is
+// valid, and the count of valid bytes in the whole line.
+func (c *Cache) BytesValid(l *Line, addr uint32, n int) bool {
+	if !c.byteValid || l.byteValid == nil {
+		return true
+	}
+	off := int(addr) & (c.cfg.LineBytes - 1)
+	for i := 0; i < n && off+i < c.cfg.LineBytes; i++ {
+		b := off + i
+		if l.byteValid[b>>6]&(1<<uint(b&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidByteCount returns the number of valid bytes in the line (the
+// copyback traffic of a victimized line under byte validity).
+func (c *Cache) ValidByteCount(l *Line) int {
+	if !c.byteValid || l.byteValid == nil {
+		return c.cfg.LineBytes
+	}
+	n := 0
+	for i, w := range l.byteValid {
+		for b := 0; b < 64 && i*64+b < c.cfg.LineBytes; b++ {
+			if w&(1<<uint(b)) != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SetAllValid marks the whole line valid (after a demand fetch merge).
+func (c *Cache) SetAllValid(l *Line) {
+	if !c.byteValid || l.byteValid == nil {
+		return
+	}
+	for i := range l.byteValid {
+		l.byteValid[i] = ^uint64(0)
+	}
+}
+
+// InvalidateAll resets the cache to cold.
+func (c *Cache) InvalidateAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w].Valid = false
+			c.sets[s][w].Dirty = false
+			c.sets[s][w].ReadyAt = 0
+		}
+	}
+}

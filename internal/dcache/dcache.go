@@ -1,0 +1,236 @@
+// Package dcache models the TM3270 data-cache timing: 128 KB, 4-way,
+// 128-byte lines, copy-back, LRU, allocate-on-write-miss with per-byte
+// validity, penalty-free non-aligned accesses (which may still miss in
+// two lines when crossing a line boundary), and region-prefetch fills
+// that land directly in the cache. The TM3260 variant (16 KB, 8-way,
+// 64-byte lines, fetch-on-write-miss) is the same model under a
+// different configuration.
+//
+// The model is a timing model only: functional data lives in the
+// simulator's memory image. Stalls are returned to the caller in CPU
+// cycles; background traffic (copybacks, write-miss fetches, prefetches)
+// occupies the bus interface unit without stalling the processor.
+package dcache
+
+import (
+	"tm3270/internal/cache"
+	"tm3270/internal/config"
+	"tm3270/internal/mem"
+	"tm3270/internal/prefetch"
+)
+
+// Kind is the access type.
+type Kind int
+
+const (
+	// Load is a data read (includes collapsed loads and SUPER_LD32R).
+	Load Kind = iota
+	// Store is a data write.
+	Store
+	// Alloc is the ALLOCD cache-line allocation.
+	Alloc
+)
+
+// Stats are the data-cache event counters.
+type Stats struct {
+	LoadHits     int64
+	LoadMisses   int64
+	StoreHits    int64
+	StoreMisses  int64
+	Allocs       int64
+	Copybacks    int64
+	PartialHits  int64 // hits on lines still in flight (prefetch/fetch)
+	MergeMisses  int64 // loads hitting allocated lines with invalid bytes
+	LineCrossers int64 // non-aligned accesses spanning two lines
+	PrefIssued   int64
+	PrefUseful   int64 // demand accesses that found a prefetched line
+}
+
+// DCache is the data-cache timing model.
+type DCache struct {
+	t   *config.Target
+	arr *cache.Cache
+	biu *mem.BIU
+	pf  *prefetch.Unit // nil when the target has no region prefetcher
+
+	prefetched map[uint32]bool // line addr -> landed via prefetch, unused yet
+
+	// cwb holds the busy-until times of the cache write buffer entries:
+	// a write-missing store occupies an entry until its line fetch
+	// completes (fetch-on-write-miss), and the processor stalls only
+	// when every entry is occupied.
+	cwb []int64
+
+	Stats Stats
+}
+
+// New builds the model. pf may be nil.
+func New(t *config.Target, biu *mem.BIU, pf *prefetch.Unit) *DCache {
+	byteValidity := t.DCache.WriteMiss == config.AllocateOnWriteMiss
+	return &DCache{
+		t:          t,
+		arr:        cache.New(t.DCache, byteValidity),
+		biu:        biu,
+		pf:         pf,
+		prefetched: make(map[uint32]bool),
+		cwb:        make([]int64, t.CWBEntries),
+	}
+}
+
+// Array exposes the underlying arrays (tests).
+func (d *DCache) Array() *cache.Cache { return d.arr }
+
+// Access models one memory operation at CPU cycle now and returns the
+// stall cycles it adds. Non-aligned accesses spanning a line boundary
+// are penalty-free on a hit but may take two misses.
+func (d *DCache) Access(now int64, addr uint32, size int, kind Kind) int64 {
+	if kind == Alloc {
+		d.Stats.Allocs++
+		return d.alloc(now, addr)
+	}
+	first := d.arr.LineAddr(addr)
+	last := d.arr.LineAddr(addr + uint32(size) - 1)
+	stall := d.one(now, addr, size, first, kind)
+	if last != first {
+		d.Stats.LineCrossers++
+		// Bytes in the second line.
+		n := int(addr) + size - int(last)
+		stall += d.one(now+stall, last, n, last, kind)
+	}
+	if kind == Load && d.pf != nil {
+		d.maybePrefetch(now+stall, addr)
+	}
+	return stall
+}
+
+// one handles the portion of an access within a single line.
+func (d *DCache) one(now int64, addr uint32, size int, lineAddr uint32, kind Kind) int64 {
+	l, hit := d.arr.Lookup(lineAddr)
+	switch kind {
+	case Load:
+		if hit {
+			stall := int64(0)
+			if l.ReadyAt > now {
+				// In-flight fill (prefetch or write-fetch): partial hit.
+				d.Stats.PartialHits++
+				stall = l.ReadyAt - now
+			}
+			if !d.arr.BytesValid(l, addr, size) {
+				// Allocated line with holes: fetch and merge.
+				d.Stats.MergeMisses++
+				done := d.biu.Read(d.t, now+stall, d.t.DCache.LineBytes, false)
+				d.arr.SetAllValid(l)
+				stall = done - now
+			} else {
+				d.Stats.LoadHits++
+				if d.prefetched[lineAddr] {
+					d.Stats.PrefUseful++
+					delete(d.prefetched, lineAddr)
+				}
+			}
+			d.arr.Touch(lineAddr)
+			return stall
+		}
+		d.Stats.LoadMisses++
+		d.evictFor(now, lineAddr)
+		v := d.arr.Victim(lineAddr)
+		d.arr.Fill(v, lineAddr, true)
+		done := d.biu.Read(d.t, now, d.t.DCache.LineBytes, false)
+		return done - now
+
+	default: // Store
+		if hit {
+			d.Stats.StoreHits++
+			d.arr.MarkValid(l, addr, size)
+			l.Dirty = true
+			d.arr.Touch(lineAddr)
+			// Stores complete through the cache write buffer; an
+			// in-flight fill does not stall them.
+			return 0
+		}
+		d.Stats.StoreMisses++
+		d.evictFor(now, lineAddr)
+		v := d.arr.Victim(lineAddr)
+		if d.t.DCache.WriteMiss == config.AllocateOnWriteMiss {
+			// Allocate without fetching: only the stored bytes become
+			// valid; no memory read, no stall.
+			d.arr.Fill(v, lineAddr, false)
+			d.arr.MarkValid(v, addr, size)
+			v.Dirty = true
+			return 0
+		}
+		// Fetch-on-write-miss: the missing line is fetched before the
+		// write retires — the write-miss penalty the TM3270's
+		// allocate-on-write-miss policy eliminates (Section 4.1). The
+		// cache write buffer absorbs the fetch latency: the store parks
+		// in a CWB entry until its line arrives, and the processor
+		// stalls only when every entry is occupied.
+		stall := int64(0)
+		e := 0
+		for i := 1; i < len(d.cwb); i++ {
+			if d.cwb[i] < d.cwb[e] {
+				e = i
+			}
+		}
+		if d.cwb[e] > now {
+			stall = d.cwb[e] - now
+		}
+		d.arr.Fill(v, lineAddr, true)
+		done := d.biu.Read(d.t, now+stall, d.t.DCache.LineBytes, false)
+		v.ReadyAt = done
+		v.Dirty = true
+		d.cwb[e] = done
+		return stall
+	}
+}
+
+// alloc validates a whole line without fetching it (ALLOCD).
+func (d *DCache) alloc(now int64, addr uint32) int64 {
+	lineAddr := d.arr.LineAddr(addr)
+	if l, hit := d.arr.Lookup(lineAddr); hit {
+		d.arr.SetAllValid(l)
+		l.Dirty = true
+		d.arr.Touch(lineAddr)
+		return 0
+	}
+	d.evictFor(now, lineAddr)
+	v := d.arr.Victim(lineAddr)
+	d.arr.Fill(v, lineAddr, true)
+	v.Dirty = true
+	return 0
+}
+
+// evictFor performs the copyback of the victim that Fill will replace.
+func (d *DCache) evictFor(now int64, lineAddr uint32) {
+	v := d.arr.Victim(lineAddr)
+	if v.Valid && v.Dirty {
+		// Only validated bytes travel back over the bus (the SoC
+		// protocol supports byte-validity transfers).
+		n := d.arr.ValidByteCount(v)
+		d.biu.Write(d.t, now, n)
+		d.Stats.Copybacks++
+	}
+	if v.Valid {
+		delete(d.prefetched, d.arr.VictimAddr(v, lineAddr))
+	}
+}
+
+// maybePrefetch asks the region unit for a candidate and issues the
+// fill if the line is absent.
+func (d *DCache) maybePrefetch(now int64, loadAddr uint32) {
+	cand, ok := d.pf.Candidate(loadAddr)
+	if !ok {
+		return
+	}
+	lineAddr := d.arr.LineAddr(cand)
+	if _, hit := d.arr.Lookup(lineAddr); hit {
+		return
+	}
+	d.evictFor(now, lineAddr)
+	v := d.arr.Victim(lineAddr)
+	d.arr.Fill(v, lineAddr, true)
+	v.ReadyAt = d.biu.Read(d.t, now, d.t.DCache.LineBytes, true)
+	d.prefetched[lineAddr] = true
+	d.pf.Issued++
+	d.Stats.PrefIssued++
+}

@@ -1,0 +1,61 @@
+// Package encode implements the TM3270 binary instruction format: the
+// template-based compressed VLIW encoding of Figure 1. Every VLIW
+// instruction starts with a 10-bit template field holding five 2-bit
+// compression codes that describe the operation sizes of the *next*
+// instruction (so the decoder knows a compression template one cycle
+// before the instruction itself arrives). Operations come in 26-, 34-
+// and 42-bit encodings; "11" marks an unused slot. An empty instruction
+// is 2 bytes, a maximal one 28 bytes. Jump-target instructions are not
+// compressed: all five slots are present at 42 bits, so instruction
+// decoding can start at any branch target without a preceding template.
+package encode
+
+import "fmt"
+
+// bitWriter packs MSB-first bit fields into bytes.
+type bitWriter struct {
+	buf  []byte
+	nbit int // bits written
+}
+
+func (w *bitWriter) write(v uint64, bits int) {
+	for i := bits - 1; i >= 0; i-- {
+		if w.nbit&7 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if v>>uint(i)&1 != 0 {
+			w.buf[len(w.buf)-1] |= 0x80 >> uint(w.nbit&7)
+		}
+		w.nbit++
+	}
+}
+
+// padToByte fills the current byte with zero bits.
+func (w *bitWriter) padToByte() {
+	for w.nbit&7 != 0 {
+		w.nbit++
+	}
+}
+
+// bitReader reads MSB-first bit fields.
+type bitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+func (r *bitReader) read(bits int) (uint64, error) {
+	var v uint64
+	for i := 0; i < bits; i++ {
+		byteIdx := r.pos >> 3
+		if byteIdx >= len(r.buf) {
+			return 0, fmt.Errorf("encode: bitstream exhausted at bit %d", r.pos)
+		}
+		v = v<<1 | uint64(r.buf[byteIdx]>>(7-uint(r.pos&7))&1)
+		r.pos++
+	}
+	return v, nil
+}
+
+func (r *bitReader) alignByte() { r.pos = (r.pos + 7) &^ 7 }
+
+func (r *bitReader) seekByte(byteOff int) { r.pos = byteOff * 8 }

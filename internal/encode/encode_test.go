@@ -1,0 +1,263 @@
+package encode_test
+
+import (
+	"testing"
+
+	"tm3270/internal/config"
+	"tm3270/internal/encode"
+	"tm3270/internal/isa"
+	"tm3270/internal/prog"
+	"tm3270/internal/regalloc"
+	"tm3270/internal/sched"
+)
+
+func compile(t *testing.T, p *prog.Program) (*sched.Code, *regalloc.Map, *encode.Encoded) {
+	t.Helper()
+	code, err := sched.Schedule(p, config.TM3270())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := regalloc.Allocate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := encode.Encode(code, rm, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, rm, enc
+}
+
+// TestEncodeEmptyInstr pins the Figure 1 fact: an instruction without
+// operations encodes in 2 bytes (10-bit template, all slots "11").
+func TestEncodeEmptyInstr(t *testing.T) {
+	// A tiny loop forces NOP padding instructions for delay slots.
+	b := prog.NewBuilder("pads")
+	i, c := b.Reg(), b.Reg()
+	b.Imm(i, 0)
+	b.Label("loop")
+	b.AddI(i, i, 1)
+	b.LesI(c, i, 3)
+	b.JmpT(c, "loop")
+	code, _, enc := compile(t, b.MustProgram())
+
+	foundEmpty := false
+	for idx := range code.Instrs {
+		if code.Instrs[idx].Empty() {
+			foundEmpty = true
+			if enc.Size[idx] != 2 {
+				t.Errorf("empty instruction %d encodes in %d bytes, want 2", idx, enc.Size[idx])
+			}
+		}
+	}
+	if !foundEmpty {
+		t.Fatal("expected NOP padding instructions in the delay slots")
+	}
+}
+
+// TestEncodeFullInstr pins the other Figure 1 fact: a maximal
+// instruction (five 42-bit operations) encodes in 28 bytes. Jump-target
+// instructions are always encoded that way.
+func TestEncodeFullInstr(t *testing.T) {
+	b := prog.NewBuilder("full")
+	i, c := b.Reg(), b.Reg()
+	b.Imm(i, 0)
+	b.Label("loop") // jump target: must be uncompressed
+	b.AddI(i, i, 1)
+	b.LesI(c, i, 3)
+	b.JmpT(c, "loop")
+	code, _, enc := compile(t, b.MustProgram())
+
+	li := code.Labels["loop"]
+	if enc.Size[li] != 28 {
+		t.Errorf("jump-target instruction encodes in %d bytes, want 28 (uncompressed)", enc.Size[li])
+	}
+	if enc.Size[0] != 28 {
+		t.Errorf("entry instruction encodes in %d bytes, want 28", enc.Size[0])
+	}
+}
+
+func TestCompressionShrinksCode(t *testing.T) {
+	// Straight-line compact ops: apart from the (uncompressed) entry
+	// instruction, a full instruction of five 26-bit operations encodes
+	// in ceil((10+5*26)/8) = 18 bytes instead of 28.
+	b := prog.NewBuilder("compact")
+	r := b.Regs(10)
+	for k := 0; k < 40; k++ {
+		b.Add(r[k%5], r[5+k%5], r[5+(k+1)%5])
+	}
+	code, _, enc := compile(t, b.MustProgram())
+	if len(code.Instrs) < 5 {
+		t.Fatalf("expected several packed instructions, got %d", len(code.Instrs))
+	}
+	for i := 1; i < len(code.Instrs); i++ {
+		if code.Instrs[i].OpCount() == 5 && enc.Size[i] != 18 {
+			t.Errorf("instr %d with five compact ops encodes in %dB, want 18", i, enc.Size[i])
+		}
+	}
+	if enc.Size[0] != 28 {
+		t.Errorf("entry instr is %dB, want 28 (uncompressed)", enc.Size[0])
+	}
+	upper := 28 * len(code.Instrs)
+	if enc.TotalBytes() >= upper*3/4 {
+		t.Errorf("compressed code %dB vs uncompressed %dB: compression too weak",
+			enc.TotalBytes(), upper)
+	}
+}
+
+// TestRoundTrip encodes a representative kernel and decodes it back,
+// comparing every slot field.
+func TestRoundTrip(t *testing.T) {
+	b := prog.NewBuilder("roundtrip")
+	r := b.Regs(12)
+	g := b.Reg()
+	b.Imm(r[0], 0xdeadbeef) // 32-bit immediate (long form)
+	b.Imm(r[1], 42)         // small immediate
+	b.Label("loop")
+	b.Add(r[2], r[0], r[1])
+	b.Sub(r[3], r[2], r[0]).WithGuard(g)
+	b.Ld32D(r[4], r[0], 128)
+	b.St32D(r[0], -64, r[4])
+	b.AslI(r[5], r[4], 7)
+	b.SuperDualIMix(r[6], r[7], r[8], r[9], r[10], r[11])
+	b.NonZero(g, r[2])
+	b.JmpT(g, "loop")
+	p := b.MustProgram()
+	code, rm, enc := compile(t, p)
+
+	dec, err := encode.Decode(enc.Bytes, enc.Base, len(code.Instrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(code.Instrs) {
+		t.Fatalf("decoded %d instrs, want %d", len(dec), len(code.Instrs))
+	}
+	for i := range dec {
+		if dec[i].Addr != enc.Addr[i] || dec[i].Size != enc.Size[i] {
+			t.Errorf("instr %d: addr/size %#x/%d, want %#x/%d",
+				i, dec[i].Addr, dec[i].Size, enc.Addr[i], enc.Size[i])
+		}
+		for s := 0; s < 5; s++ {
+			so := code.Instrs[i].Slots[s]
+			d := dec[i].Slots[s]
+			if so.Op == nil {
+				// Empty slots only materialize (as NOPs) in
+				// uncompressed instructions.
+				if d != nil && d.Opcode != uint16(isa.OpNOP) {
+					t.Errorf("instr %d slot %d: phantom op %d", i, s+1, d.Opcode)
+				}
+				continue
+			}
+			if d == nil {
+				t.Errorf("instr %d slot %d: op lost in encoding", i, s+1)
+				continue
+			}
+			checkSlot(t, i, s, so, d, rm, code, enc)
+		}
+	}
+}
+
+func checkSlot(t *testing.T, i, s int, so sched.SlotOp, d *encode.DecOp,
+	rm *regalloc.Map, code *sched.Code, enc *encode.Encoded) {
+	t.Helper()
+	op := so.Op
+	info := op.Info()
+	if so.Second {
+		if !d.IsExt() {
+			t.Errorf("instr %d slot %d: second half not marked ext", i, s+1)
+			return
+		}
+		if info.NSrc > 2 && d.S1 != rm.Reg(op.Src[2]) {
+			t.Errorf("instr %d slot %d: ext s3 = %v, want %v", i, s+1, d.S1, rm.Reg(op.Src[2]))
+		}
+		if info.NSrc > 3 && d.S2 != rm.Reg(op.Src[3]) {
+			t.Errorf("instr %d slot %d: ext s4 mismatch", i, s+1)
+		}
+		if info.NDest > 1 && d.D != rm.Reg(op.Dest[1]) {
+			t.Errorf("instr %d slot %d: ext d2 mismatch", i, s+1)
+		}
+		return
+	}
+	if d.Opcode != uint16(op.Opcode) {
+		t.Errorf("instr %d slot %d: opcode %d, want %d (%s)", i, s+1, d.Opcode, op.Opcode, info.Name)
+		return
+	}
+	if d.Guard != rm.Reg(op.Guard) {
+		t.Errorf("instr %d slot %d (%s): guard %v, want %v", i, s+1, info.Name, d.Guard, rm.Reg(op.Guard))
+	}
+	if info.IsJump {
+		want := enc.Addr[code.Labels[op.Target]]
+		if d.Target != want {
+			t.Errorf("instr %d slot %d: jump target %#x, want %#x", i, s+1, d.Target, want)
+		}
+		return
+	}
+	if info.NSrc > 0 && d.S1 != rm.Reg(op.Src[0]) {
+		t.Errorf("instr %d slot %d (%s): s1 %v, want %v", i, s+1, info.Name, d.S1, rm.Reg(op.Src[0]))
+	}
+	if info.NSrc > 1 && d.S2 != rm.Reg(op.Src[1]) {
+		t.Errorf("instr %d slot %d (%s): s2 %v, want %v", i, s+1, info.Name, d.S2, rm.Reg(op.Src[1]))
+	}
+	if info.NDest > 0 && d.D != rm.Reg(op.Dest[0]) {
+		t.Errorf("instr %d slot %d (%s): dest %v, want %v", i, s+1, info.Name, d.D, rm.Reg(op.Dest[0]))
+	}
+	if info.HasImm && d.Imm != op.Imm {
+		t.Errorf("instr %d slot %d (%s): imm %#x, want %#x", i, s+1, info.Name, d.Imm, op.Imm)
+	}
+}
+
+func TestAddrMonotonicAndSentinel(t *testing.T) {
+	b := prog.NewBuilder("addrs")
+	r := b.Regs(4)
+	b.Add(r[0], r[1], r[2])
+	b.Mul(r[3], r[0], r[0])
+	code, _, enc := compile(t, b.MustProgram())
+	if len(enc.Addr) != len(code.Instrs)+1 {
+		t.Fatalf("Addr has %d entries, want %d", len(enc.Addr), len(code.Instrs)+1)
+	}
+	for i := 0; i < len(code.Instrs); i++ {
+		if enc.Addr[i+1] != enc.Addr[i]+uint32(enc.Size[i]) {
+			t.Errorf("addr %d not contiguous", i)
+		}
+	}
+	if enc.Addr[len(code.Instrs)] != enc.Base+uint32(len(enc.Bytes)) {
+		t.Error("end sentinel does not match code size")
+	}
+}
+
+func TestNegativeDisplacementRoundTrip(t *testing.T) {
+	b := prog.NewBuilder("negdisp")
+	base, v := b.Reg(), b.Reg()
+	g := b.Reg()
+	b.Ld32D(v, base, -4)
+	b.St32D(base, -512, v).WithGuard(g)
+	code, _, enc := compile(t, b.MustProgram())
+	dec, err := encode.Decode(enc.Bytes, enc.Base, len(code.Instrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for i := range dec {
+		for s := 0; s < 5; s++ {
+			d := dec[i].Slots[s]
+			if d == nil {
+				continue
+			}
+			switch isa.Opcode(d.Opcode) {
+			case isa.OpLD32D:
+				if int32(d.Imm) != -4 {
+					t.Errorf("ld32d imm = %d, want -4", int32(d.Imm))
+				}
+				found++
+			case isa.OpST32D:
+				if int32(d.Imm) != -512 {
+					t.Errorf("st32d imm = %d, want -512", int32(d.Imm))
+				}
+				found++
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("found %d memory ops after decode, want 2", found)
+	}
+}

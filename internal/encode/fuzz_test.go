@@ -1,0 +1,117 @@
+package encode_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"tm3270/internal/config"
+	"tm3270/internal/encode"
+	"tm3270/internal/isa"
+	"tm3270/internal/prog"
+	"tm3270/internal/regalloc"
+	"tm3270/internal/sched"
+)
+
+// TestFuzzRoundTrip builds random programs spanning every encoding
+// shape (compact, wide-register, immediate widths, guarded forms,
+// stores, supers, jumps), schedules and encodes them, then decodes the
+// binary and compares every field.
+func TestFuzzRoundTrip(t *testing.T) {
+	ops := []isa.Opcode{
+		isa.OpIADD, isa.OpISUB, isa.OpBITXOR, isa.OpIMUL, isa.OpQUADAVG,
+		isa.OpIFIR16, isa.OpDSPIDUALADD, isa.OpMERGEMSB, isa.OpICLZ,
+		isa.OpSEX8, isa.OpPACK16LSB, isa.OpUME8UU, isa.OpFADD, isa.OpFMUL,
+	}
+	immOps := []struct {
+		oc       isa.Opcode
+		min, max int32
+	}{
+		{isa.OpIADDI, -4096, 4095},
+		{isa.OpASLI, 0, 31},
+		{isa.OpICLIPI, 0, 30},
+		{isa.OpLD32D, -1024, 1023},
+		{isa.OpULD8D, -1024, 1023},
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := prog.NewBuilder("fuzz")
+		// Mix low and high register numbers to cover both the 6-bit
+		// compact and 7-bit wide register fields.
+		pool := b.Regs(8 + rng.Intn(90))
+		pick := func() prog.VReg { return pool[rng.Intn(len(pool))] }
+		for n := 0; n < 30; n++ {
+			switch rng.Intn(6) {
+			case 0: // plain RR
+				oc := ops[rng.Intn(len(ops))]
+				info := isa.Info(oc)
+				op := prog.Op{Opcode: oc}
+				for s := 0; s < info.NSrc; s++ {
+					op.Src[s] = pick()
+				}
+				op.Dest[0] = pick()
+				if rng.Intn(3) == 0 {
+					op.Guard = pick()
+				}
+				b.Emit(op)
+			case 1: // immediate forms
+				io := immOps[rng.Intn(len(immOps))]
+				imm := io.min + rng.Int31n(io.max-io.min+1)
+				op := prog.Op{Opcode: io.oc, Imm: uint32(imm)}
+				op.Src[0] = pick()
+				op.Dest[0] = pick()
+				if rng.Intn(4) == 0 && imm >= -1024 && imm <= 1023 {
+					op.Guard = pick()
+				}
+				b.Emit(op)
+			case 2: // 32-bit constant
+				b.Imm(pick(), rng.Uint32())
+			case 3: // store, optionally guarded
+				op := b.St32D(pick(), int32(rng.Intn(64)), pick())
+				if rng.Intn(3) == 0 {
+					op.WithGuard(pick())
+				}
+			case 4: // two-slot super (distinct destinations required)
+				d1 := pick()
+				d2 := pick()
+				for d2 == d1 {
+					d2 = pick()
+				}
+				b.SuperDualIMix(d1, d2, pick(), pick(), pick(), pick())
+			case 5: // small immediate compare
+				b.LesI(pick(), pick(), int32(rng.Intn(100)))
+			}
+		}
+		p := b.MustProgram()
+		code, err := sched.Schedule(p, config.TM3270())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rm, err := regalloc.Allocate(p)
+		if err != nil {
+			// Register-heavy seeds may overflow; that is a legitimate
+			// loud failure, not an encoding bug.
+			continue
+		}
+		enc, err := encode.Encode(code, rm, 0x4000)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		dec, err := encode.Decode(enc.Bytes, enc.Base, len(code.Instrs))
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		for i := range dec {
+			for s := 0; s < 5; s++ {
+				so := code.Instrs[i].Slots[s]
+				d := dec[i].Slots[s]
+				if so.Op == nil {
+					continue
+				}
+				if d == nil {
+					t.Fatalf("seed %d instr %d slot %d: lost op", seed, i, s+1)
+				}
+				checkSlot(t, i, s, so, d, rm, code, enc)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package encode
+
+import (
+	"fmt"
+
+	"tm3270/internal/config"
+	"tm3270/internal/isa"
+	"tm3270/internal/prog"
+	"tm3270/internal/regalloc"
+	"tm3270/internal/sched"
+)
+
+// Reassemble decodes a binary image back into executable scheduled code:
+// the inverse of Encode. Register operands become the identity virtual
+// registers (v_i = r_i), two-slot operations are re-joined from their
+// main and extension halves, and jump-target byte addresses become
+// synthetic labels. The result runs on the machine model exactly like
+// compiler-produced code, which the round-trip tests exploit: a kernel
+// executed from its decoded binary must produce identical results.
+//
+// The target is required because the binary does not carry latencies or
+// delay-slot counts — as on real TriMedia parts, the code only runs
+// correctly on the family member it was compiled for.
+func Reassemble(img []byte, base uint32, n int, t config.Target) (*sched.Code, *regalloc.Map, error) {
+	dec, err := Decode(img, base, n)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	addrToIdx := make(map[uint32]int, n+1)
+	for i := range dec {
+		addrToIdx[dec[i].Addr] = i
+	}
+	end := base + uint32(len(img))
+	if n > 0 {
+		end = dec[n-1].Addr + uint32(dec[n-1].Size)
+	}
+	addrToIdx[end] = n
+
+	code := &sched.Code{
+		Name:       "reassembled",
+		Target:     t,
+		Instrs:     make([]sched.Instr, n),
+		Labels:     map[string]int{},
+		BlockStart: []int{0},
+	}
+	rm := identityMap()
+
+	label := func(addr uint32) (string, error) {
+		idx, ok := addrToIdx[addr]
+		if !ok {
+			return "", fmt.Errorf("encode: jump to %#x, not an instruction boundary", addr)
+		}
+		name := fmt.Sprintf("L%d", idx)
+		code.Labels[name] = idx
+		return name, nil
+	}
+
+	for i := range dec {
+		for s := 0; s < 5; s++ {
+			d := dec[i].Slots[s]
+			if d == nil || d.IsExt() || isa.Opcode(d.Opcode) == isa.OpNOP {
+				continue
+			}
+			oc := isa.Opcode(d.Opcode)
+			info := isa.Info(oc)
+			op := &prog.Op{
+				Opcode: oc,
+				Guard:  prog.VReg(d.Guard),
+				Imm:    d.Imm,
+			}
+			op.Src[0], op.Src[1] = prog.VReg(d.S1), prog.VReg(d.S2)
+			op.Dest[0] = prog.VReg(d.D)
+			if info.IsJump {
+				name, err := label(d.Target)
+				if err != nil {
+					return nil, nil, err
+				}
+				op.Target = name
+			}
+			if info.TwoSlot {
+				if s+1 >= 5 || dec[i].Slots[s+1] == nil || !dec[i].Slots[s+1].IsExt() {
+					return nil, nil, fmt.Errorf("encode: instr %d: two-slot %s lacks its extension half", i, info.Name)
+				}
+				ext := dec[i].Slots[s+1]
+				op.Src[2], op.Src[3] = prog.VReg(ext.S1), prog.VReg(ext.S2)
+				op.Dest[1] = prog.VReg(ext.D)
+				code.Instrs[i].Slots[s] = sched.SlotOp{Op: op}
+				code.Instrs[i].Slots[s+1] = sched.SlotOp{Op: op, Second: true}
+				code.SrcOps++
+				s++ // the extension half is consumed
+				continue
+			}
+			code.Instrs[i].Slots[s] = sched.SlotOp{Op: op}
+			code.SrcOps++
+		}
+	}
+	return code, rm, nil
+}
+
+// identityMap maps virtual register i to physical register i: the
+// register numbering of reassembled code is already physical.
+func identityMap() *regalloc.Map {
+	m := &regalloc.Map{Phys: make([]isa.Reg, isa.NumRegs), Used: isa.NumRegs}
+	for i := range m.Phys {
+		m.Phys[i] = isa.Reg(i)
+	}
+	return m
+}

@@ -1,0 +1,132 @@
+package isa_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"tm3270/internal/cabac"
+	"tm3270/internal/isa"
+)
+
+// TestCabacOpsDecodeStream decodes a real CABAC bitstream using only the
+// SUPER_CABAC_CTX / SUPER_CABAC_STR operation semantics and the window
+// discipline of the paper, and checks that the decoded bits match what
+// was encoded. This pins the Table 2 semantics end to end.
+func TestCabacOpsDecodeStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const nBits = 5000
+	const nCtx = 8
+
+	encCtx := make([]cabac.Context, nCtx)
+	enc := cabac.NewEncoder()
+	bits := make([]uint8, nBits)
+	ctxOf := make([]int, nBits)
+	for i := range bits {
+		// A skewed source so contexts adapt away from equiprobability.
+		b := uint8(0)
+		if rng.Intn(10) == 0 {
+			b = 1
+		}
+		ci := rng.Intn(nCtx)
+		bits[i] = b
+		ctxOf[i] = ci
+		enc.EncodeBit(&encCtx[ci], b)
+	}
+	stream := enc.Flush()
+
+	// Software-visible decoder state, as the kernels keep it.
+	window := func(pos int) uint32 {
+		b := func(i int) uint32 {
+			if i < len(stream) {
+				return uint32(stream[i])
+			}
+			return 0
+		}
+		return b(pos)<<24 | b(pos+1)<<16 | b(pos+2)<<8 | b(pos+3)
+	}
+	bytePos := 0
+	streamData := window(0)
+	valueRange := (streamData >> (32 - 9) << 16) | 510 // DUAL16(value, range)
+	bitPos := uint32(9)
+
+	decCtx := make([]cabac.Context, nCtx)
+	ctxOp := isa.Info(isa.OpSUPERCABACCTX)
+	strOp := isa.Info(isa.OpSUPERCABACSTR)
+
+	for i := range bits {
+		ci := ctxOf[i]
+		packed := decCtx[ci].Pack()
+
+		var strc isa.ExecContext
+		strc.Src = [4]uint32{valueRange, bitPos, 0, packed}
+		strOp.Exec(&strc)
+
+		var ctxc isa.ExecContext
+		ctxc.Src = [4]uint32{valueRange, bitPos, streamData, packed}
+		ctxOp.Exec(&ctxc)
+
+		bit := strc.Dest[1]
+		if uint8(bit) != bits[i] {
+			t.Fatalf("bit %d: decoded %d, want %d", i, bit, bits[i])
+		}
+		bitPos = strc.Dest[0]
+		valueRange = ctxc.Dest[0]
+		decCtx[ci] = cabac.UnpackContext(ctxc.Dest[1])
+
+		// Guarded window refill, as in the kernels: keep bitPos < 16.
+		for bitPos >= 16 {
+			bytePos += 2
+			bitPos -= 16
+			streamData = window(bytePos)
+		}
+	}
+}
+
+// TestCabacStrMatchesCtx verifies that the bitstream-consumption count
+// of SUPER_CABAC_STR agrees with the range evolution of SUPER_CABAC_CTX
+// for random inputs (the two halves of the split must stay consistent).
+func TestCabacStrMatchesCtx(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ctxOp := isa.Info(isa.OpSUPERCABACCTX)
+	strOp := isa.Info(isa.OpSUPERCABACSTR)
+	for i := 0; i < 10000; i++ {
+		rrange := uint32(rng.Intn(255)) + 256 // [256, 510]
+		value := uint32(rng.Intn(int(rrange)))
+		state := uint32(rng.Intn(64))
+		mps := uint32(rng.Intn(2))
+		pos := uint32(rng.Intn(16))
+		data := rng.Uint32()
+
+		vr := value<<16 | rrange
+		sm := state<<16 | mps
+
+		var sc, cc isa.ExecContext
+		sc.Src = [4]uint32{vr, pos, 0, sm}
+		strOp.Exec(&sc)
+		cc.Src = [4]uint32{vr, pos, data, sm}
+		ctxOp.Exec(&cc)
+
+		newRange := cc.Dest[0] & 0xffff
+		if newRange < 256 || newRange > 510 {
+			t.Fatalf("range %d not renormalized", newRange)
+		}
+		consumed := sc.Dest[0] - pos
+		if consumed > 8 {
+			t.Fatalf("consumed %d bits, max is 8", consumed)
+		}
+		// The new value must stay below the new range.
+		if v := cc.Dest[0] >> 16; v >= 1024 {
+			t.Fatalf("value %d exceeds 10 bits", v)
+		}
+	}
+}
+
+// TestSuperUME8UU checks the 8-byte SAD extension.
+func TestSuperUME8UU(t *testing.T) {
+	ctx := run(t, isa.OpSUPERUME8UU,
+		[]uint32{0x10203040, 0x50607080, 0x11223344, 0x55667788}, 0, nil)
+	want := uint32(1 + 2 + 3 + 4 + 5 + 6 + 7 + 8)
+	if ctx.Dest[0] != want {
+		t.Errorf("super_ume8uu = %d, want %d", ctx.Dest[0], want)
+	}
+}

@@ -1,0 +1,94 @@
+package isa
+
+// Helpers shared by operation semantics. SIMD byte lanes are numbered
+// 0..3 from the most significant byte, matching the big-endian memory
+// semantics of Table 2.
+
+func clip32(v int64) uint32 {
+	if v > 0x7fffffff {
+		return 0x7fffffff
+	}
+	if v < -0x80000000 {
+		return 0x80000000
+	}
+	return uint32(v)
+}
+
+func clip16(v int32) uint16 {
+	if v > 0x7fff {
+		return 0x7fff
+	}
+	if v < -0x8000 {
+		return 0x8000
+	}
+	return uint16(v)
+}
+
+func clipU8(v int32) uint8 {
+	if v > 0xff {
+		return 0xff
+	}
+	if v < 0 {
+		return 0
+	}
+	return uint8(v)
+}
+
+// clipSigned clips v to [-2^n, 2^n-1].
+func clipSigned(v int32, n uint32) uint32 {
+	if n > 30 {
+		n = 30
+	}
+	hi := int32(1)<<n - 1
+	lo := -(int32(1) << n)
+	if v > hi {
+		v = hi
+	}
+	if v < lo {
+		v = lo
+	}
+	return uint32(v)
+}
+
+// clipUnsigned clips signed v to [0, 2^n-1].
+func clipUnsigned(v int32, n uint32) uint32 {
+	if n > 31 {
+		n = 31
+	}
+	hi := int32(1)<<n - 1
+	if n == 31 {
+		hi = 0x7fffffff
+	}
+	if v > hi {
+		v = hi
+	}
+	if v < 0 {
+		v = 0
+	}
+	return uint32(v)
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// byteOf extracts byte lane i (0 = most significant) of v.
+func byteOf(v uint32, i int) uint32 { return (v >> (24 - 8*i)) & 0xff }
+
+// sbyteOf extracts byte lane i of v as a signed value.
+func sbyteOf(v uint32, i int) int32 { return int32(int8(byteOf(v, i))) }
+
+// packBytes packs four byte lanes (lane 0 most significant).
+func packBytes(b0, b1, b2, b3 uint32) uint32 {
+	return b0<<24 | b1<<16 | b2<<8 | b3
+}
+
+func hi16(v uint32) int32  { return int32(int16(v >> 16)) }
+func lo16(v uint32) int32  { return int32(int16(v)) }
+func uhi16(v uint32) int32 { return int32(v >> 16) }
+func ulo16(v uint32) int32 { return int32(v & 0xffff) }
+
+func dual16(hi, lo uint32) uint32 { return hi<<16 | lo&0xffff }

@@ -1,0 +1,130 @@
+package isa
+
+import "fmt"
+
+// SizeClass is the encoding size class of an operation (Figure 1: the
+// per-slot 2-bit compression fields select among three operation sizes
+// plus "slot unused").
+type SizeClass uint8
+
+const (
+	// Size26 is the 26-bit compact encoding ("00").
+	Size26 SizeClass = iota
+	// Size34 is the 34-bit encoding ("01").
+	Size34
+	// Size42 is the 42-bit maximum encoding ("10").
+	Size42
+)
+
+// Bits returns the number of encoding bits of the size class.
+func (s SizeClass) Bits() int {
+	switch s {
+	case Size26:
+		return 26
+	case Size34:
+		return 34
+	default:
+		return 42
+	}
+}
+
+// Memory is the functional view of the memory system used by operation
+// semantics. All multi-byte accesses are big-endian, matching the
+// semantics in Table 2 of the paper, and may be non-aligned.
+type Memory interface {
+	// Load returns n bytes (1..8) starting at addr, big-endian, in the
+	// low-order bits of the result.
+	Load(addr uint32, n int) uint64
+	// Store writes the n (1..8) low-order bytes of v, big-endian,
+	// starting at addr.
+	Store(addr uint32, n int, v uint64)
+}
+
+// ExecContext carries the dataflow of one operation execution. The
+// issue logic fills Src and Imm, the semantics fill Dest (and Taken for
+// branches).
+type ExecContext struct {
+	Src   [4]uint32 // source operand values (two-slot ops use all four)
+	Imm   uint32    // immediate operand, when the operation has one
+	Mem   Memory    // memory port for loads/stores (nil otherwise)
+	Dest  [2]uint32 // destination values (two-slot ops may produce two)
+	Taken bool      // set by branch semantics when the jump is taken
+}
+
+// ExecFunc implements the semantics of one operation.
+type ExecFunc func(ctx *ExecContext)
+
+// OpInfo is the static description of one operation.
+type OpInfo struct {
+	Name    string
+	Class   UnitClass
+	Latency int // TM3270 result latency in cycles (loads: see Target)
+	NSrc    int // number of register sources (0..4)
+	NDest   int // number of register destinations (0..2)
+	HasImm  bool
+	Size    SizeClass
+
+	// Memory behaviour.
+	IsLoad   bool
+	IsStore  bool
+	MemBytes int // bytes referenced by a memory operation
+
+	IsJump bool
+	// GuardInverted marks operations that execute when their guard is
+	// FALSE (jmpf); all other operations execute when it is true.
+	GuardInverted bool
+	TwoSlot       bool
+
+	Exec ExecFunc
+}
+
+var opTable [numOpcodes]OpInfo
+
+// register installs the description of op. It panics on double
+// registration, which would indicate a table bug.
+func register(op Opcode, info OpInfo) {
+	if opTable[op].Name != "" {
+		panic(fmt.Sprintf("isa: opcode %d registered twice (%s, %s)", op, opTable[op].Name, info.Name))
+	}
+	if info.Exec == nil && op != OpNOP {
+		panic("isa: " + info.Name + " has no semantics")
+	}
+	opTable[op] = info
+}
+
+// Info returns the description of op. It panics on an undefined opcode.
+func Info(op Opcode) *OpInfo {
+	if int(op) >= NumOpcodes || opTable[op].Name == "" {
+		panic(fmt.Sprintf("isa: undefined opcode %d", op))
+	}
+	return &opTable[op]
+}
+
+// Lookup returns the opcode with the given assembler name.
+func Lookup(name string) (Opcode, bool) {
+	op, ok := byName[name]
+	return op, ok
+}
+
+var byName = map[string]Opcode{}
+
+func init() {
+	registerAll()
+	for i := Opcode(0); i < numOpcodes; i++ {
+		if opTable[i].Name == "" {
+			panic(fmt.Sprintf("isa: opcode %d has no table entry", i))
+		}
+		byName[opTable[i].Name] = i
+	}
+}
+
+func (op Opcode) String() string {
+	if int(op) < NumOpcodes && opTable[op].Name != "" {
+		return opTable[op].Name
+	}
+	return fmt.Sprintf("op%d", uint16(op))
+}
+
+// Slots returns the TM3270 issue-slot mask of op (first slot of the
+// pair for two-slot operations).
+func (op Opcode) Slots() SlotMask { return DefaultSlots(Info(op).Class) }

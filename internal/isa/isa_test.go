@@ -1,0 +1,621 @@
+package isa_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tm3270/internal/isa"
+	"tm3270/internal/mem"
+)
+
+// run executes op once with the given sources, immediate and memory.
+func run(t *testing.T, op isa.Opcode, srcs []uint32, imm uint32, m isa.Memory) isa.ExecContext {
+	t.Helper()
+	info := isa.Info(op)
+	ctx := isa.ExecContext{Imm: imm, Mem: m}
+	copy(ctx.Src[:], srcs)
+	if len(srcs) != info.NSrc {
+		t.Fatalf("%s: test passes %d sources, op declares %d", info.Name, len(srcs), info.NSrc)
+	}
+	info.Exec(&ctx)
+	return ctx
+}
+
+func run1(t *testing.T, op isa.Opcode, srcs []uint32, imm uint32) uint32 {
+	return run(t, op, srcs, imm, nil).Dest[0]
+}
+
+func TestRegFileHardwired(t *testing.T) {
+	var f isa.RegFile
+	if got := f.Read(isa.R0); got != 0 {
+		t.Errorf("r0 = %d, want 0", got)
+	}
+	if got := f.Read(isa.R1); got != 1 {
+		t.Errorf("r1 = %d, want 1", got)
+	}
+	f.Write(isa.R0, 99)
+	f.Write(isa.R1, 99)
+	if f.Read(isa.R0) != 0 || f.Read(isa.R1) != 1 {
+		t.Error("writes to hardwired registers must be ignored")
+	}
+	f.Write(isa.Reg(42), 0xdeadbeef)
+	if got := f.Read(isa.Reg(42)); got != 0xdeadbeef {
+		t.Errorf("r42 = %#x, want 0xdeadbeef", got)
+	}
+	s := f.Snapshot()
+	if s[0] != 0 || s[1] != 1 || s[42] != 0xdeadbeef {
+		t.Errorf("snapshot mismatch: %v %v %v", s[0], s[1], s[42])
+	}
+}
+
+func TestUnitInventoryIs31(t *testing.T) {
+	// Table 1: the TM3270 has 31 functional units.
+	if got := len(isa.Units); got != 31 {
+		t.Fatalf("unit inventory has %d units, want 31 (Table 1)", got)
+	}
+	seen := map[string]bool{}
+	for _, u := range isa.Units {
+		if seen[u.Name] {
+			t.Errorf("duplicate unit name %q", u.Name)
+		}
+		seen[u.Name] = true
+		if u.Slot < 1 || u.Slot > 5 {
+			t.Errorf("unit %s: slot %d out of range", u.Name, u.Slot)
+		}
+		if u.TwoSlot && u.Slot == 5 {
+			t.Errorf("unit %s: two-slot unit cannot start in slot 5", u.Name)
+		}
+	}
+}
+
+func TestSlotMask(t *testing.T) {
+	m := isa.Slots(2, 3)
+	if !m.Has(2) || !m.Has(3) || m.Has(1) || m.Has(4) || m.Has(5) {
+		t.Errorf("Slots(2,3) = %05b", m)
+	}
+	if m.Count() != 2 {
+		t.Errorf("Count = %d, want 2", m.Count())
+	}
+	if isa.AllSlots.Count() != 5 {
+		t.Errorf("AllSlots.Count = %d", isa.AllSlots.Count())
+	}
+}
+
+func TestPaperSlotAssignments(t *testing.T) {
+	// Table 2 lists the issue slots of the new operations.
+	cases := []struct {
+		op   isa.Opcode
+		want isa.SlotMask
+	}{
+		{isa.OpSUPERDUALIMIX, isa.Slots(2)}, // pair (2,3)
+		{isa.OpSUPERLD32R, isa.Slots(4)},    // pair (4,5)
+		{isa.OpSUPERCABACSTR, isa.Slots(2)}, // pair (2,3)
+		{isa.OpSUPERCABACCTX, isa.Slots(2)}, // pair (2,3)
+		{isa.OpLDFRAC8, isa.Slots(5)},
+		{isa.OpLD32D, isa.Slots(5)},
+		{isa.OpST32D, isa.Slots(4, 5)},
+	}
+	for _, c := range cases {
+		if got := c.op.Slots(); got != c.want {
+			t.Errorf("%v slots = %05b, want %05b", c.op, got, c.want)
+		}
+	}
+}
+
+func TestPaperLatencies(t *testing.T) {
+	// Table 2: two-slot operations have latency 4, LD_FRAC8 latency 6.
+	for _, op := range []isa.Opcode{isa.OpSUPERDUALIMIX, isa.OpSUPERLD32R, isa.OpSUPERCABACSTR, isa.OpSUPERCABACCTX} {
+		if l := isa.Info(op).Latency; l != 4 {
+			t.Errorf("%v latency = %d, want 4", op, l)
+		}
+	}
+	if l := isa.Info(isa.OpLDFRAC8).Latency; l != 6 {
+		t.Errorf("ld_frac8 latency = %d, want 6", l)
+	}
+	if l := isa.Info(isa.OpLD32D).Latency; l != 4 {
+		t.Errorf("ld32d latency = %d, want 4 (TM3270)", l)
+	}
+}
+
+func TestEveryOpcodeDefined(t *testing.T) {
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		info := isa.Info(op)
+		if info.Name == "" {
+			t.Fatalf("opcode %d has no name", op)
+		}
+		back, ok := isa.Lookup(info.Name)
+		if !ok || back != op {
+			t.Errorf("Lookup(%q) = %v,%v, want %v", info.Name, back, ok, op)
+		}
+		if info.NSrc < 0 || info.NSrc > 4 || info.NDest < 0 || info.NDest > 2 {
+			t.Errorf("%s: impossible operand counts %d/%d", info.Name, info.NSrc, info.NDest)
+		}
+		if info.NSrc > 2 && !info.TwoSlot {
+			t.Errorf("%s: more than two sources requires a two-slot operation", info.Name)
+		}
+		if info.NDest > 1 && !info.TwoSlot {
+			t.Errorf("%s: more than one destination requires a two-slot operation", info.Name)
+		}
+		if info.Latency < 1 {
+			t.Errorf("%s: latency %d", info.Name, info.Latency)
+		}
+	}
+}
+
+func TestIntALU(t *testing.T) {
+	cases := []struct {
+		op   isa.Opcode
+		a, b uint32
+		want uint32
+	}{
+		{isa.OpIADD, 3, 4, 7},
+		{isa.OpIADD, 0xffffffff, 1, 0},
+		{isa.OpISUB, 3, 4, 0xffffffff},
+		{isa.OpIMIN, 0xffffffff, 1, 0xffffffff}, // signed: -1 < 1
+		{isa.OpIMAX, 0xffffffff, 1, 1},
+		{isa.OpIAVGONEP, 3, 4, 4},
+		{isa.OpIAVGONEP, 0xffffffff, 0xfffffffd, 0xfffffffe}, // (-1 + -3 + 1) >> 1 = -2 (arithmetic shift floors)
+		{isa.OpBITAND, 0xf0f0, 0x00ff, 0x00f0},
+		{isa.OpBITOR, 0xf0f0, 0x00ff, 0xf0ff},
+		{isa.OpBITXOR, 0xf0f0, 0x00ff, 0xf00f},
+		{isa.OpBITANDINV, 0xf0f0, 0x00ff, 0xf000},
+		{isa.OpIEQL, 5, 5, 1},
+		{isa.OpIEQL, 5, 6, 0},
+		{isa.OpINEQ, 5, 6, 1},
+		{isa.OpIGTR, 0xffffffff, 0, 0}, // -1 > 0 is false
+		{isa.OpUGTR, 0xffffffff, 0, 1},
+		{isa.OpILES, 0xffffffff, 0, 1},
+		{isa.OpULES, 0xffffffff, 0, 0},
+		{isa.OpIGEQ, 7, 7, 1},
+		{isa.OpILEQ, 7, 7, 1},
+		{isa.OpUGEQ, 7, 8, 0},
+		{isa.OpULEQ, 7, 8, 1},
+	}
+	for _, c := range cases {
+		if got := run1(t, c.op, []uint32{c.a, c.b}, 0); got != c.want {
+			t.Errorf("%v(%#x, %#x) = %#x, want %#x", c.op, c.a, c.b, got, c.want)
+		}
+	}
+	if got := run1(t, isa.OpBITINV, []uint32{0xf0f0}, 0); got != 0xffff0f0f {
+		t.Errorf("bitinv = %#x", got)
+	}
+	if got := run1(t, isa.OpIADDI, []uint32{10}, 0xfffffffe); got != 8 {
+		t.Errorf("iaddi(10, -2) = %d, want 8", got)
+	}
+	if got := run1(t, isa.OpSEX8, []uint32{0x1ff}, 0); got != 0xffffffff {
+		t.Errorf("sex8(0x1ff) = %#x", got)
+	}
+	if got := run1(t, isa.OpSEX16, []uint32{0x18000}, 0); got != 0xffff8000 {
+		t.Errorf("sex16 = %#x", got)
+	}
+	if got := run1(t, isa.OpZEX8, []uint32{0x1ff}, 0); got != 0xff {
+		t.Errorf("zex8 = %#x", got)
+	}
+	if got := run1(t, isa.OpZEX16, []uint32{0xdeadbeef}, 0); got != 0xbeef {
+		t.Errorf("zex16 = %#x", got)
+	}
+	if got := run1(t, isa.OpIZERO, []uint32{0}, 0); got != 1 {
+		t.Errorf("izero(0) = %d", got)
+	}
+	if got := run1(t, isa.OpINONZERO, []uint32{7}, 0); got != 1 {
+		t.Errorf("inonzero(7) = %d", got)
+	}
+	if got := run1(t, isa.OpIEQLI, []uint32{5}, 5); got != 1 {
+		t.Errorf("ieqli = %d", got)
+	}
+	if got := run1(t, isa.OpIGTRI, []uint32{6}, 5); got != 1 {
+		t.Errorf("igtri = %d", got)
+	}
+	if got := run1(t, isa.OpILESI, []uint32{4}, 5); got != 1 {
+		t.Errorf("ilesi = %d", got)
+	}
+	if got := run1(t, isa.OpINEQI, []uint32{4}, 5); got != 1 {
+		t.Errorf("ineqi = %d", got)
+	}
+}
+
+func TestShifter(t *testing.T) {
+	if got := run1(t, isa.OpASL, []uint32{1, 31}, 0); got != 0x80000000 {
+		t.Errorf("asl = %#x", got)
+	}
+	if got := run1(t, isa.OpASR, []uint32{0x80000000, 31}, 0); got != 0xffffffff {
+		t.Errorf("asr = %#x", got)
+	}
+	if got := run1(t, isa.OpLSR, []uint32{0x80000000, 31}, 0); got != 1 {
+		t.Errorf("lsr = %#x", got)
+	}
+	if got := run1(t, isa.OpROL, []uint32{0x80000001, 1}, 0); got != 3 {
+		t.Errorf("rol = %#x", got)
+	}
+	if got := run1(t, isa.OpROL, []uint32{0xdeadbeef, 0}, 0); got != 0xdeadbeef {
+		t.Errorf("rol by 0 = %#x", got)
+	}
+	if got := run1(t, isa.OpASLI, []uint32{3}, 4); got != 48 {
+		t.Errorf("asli = %d", got)
+	}
+	if got := run1(t, isa.OpASRI, []uint32{0xffffff00}, 4); got != 0xfffffff0 {
+		t.Errorf("asri = %#x", got)
+	}
+	if got := run1(t, isa.OpLSRI, []uint32{0xff00}, 8); got != 0xff {
+		t.Errorf("lsri = %#x", got)
+	}
+	if got := run1(t, isa.OpROLI, []uint32{0x80000001}, 1); got != 3 {
+		t.Errorf("roli = %#x", got)
+	}
+	if got := run1(t, isa.OpICLZ, []uint32{0}, 0); got != 32 {
+		t.Errorf("iclz(0) = %d", got)
+	}
+	if got := run1(t, isa.OpICLZ, []uint32{1}, 0); got != 31 {
+		t.Errorf("iclz(1) = %d", got)
+	}
+	if got := run1(t, isa.OpICLZ, []uint32{0x00ffffff}, 0); got != 8 {
+		t.Errorf("iclz = %d", got)
+	}
+	if got := run1(t, isa.OpFUNSHIFT1, []uint32{0x11223344, 0xaabbccdd}, 0); got != 0x223344aa {
+		t.Errorf("funshift1 = %#x", got)
+	}
+	if got := run1(t, isa.OpFUNSHIFT2, []uint32{0x11223344, 0xaabbccdd}, 0); got != 0x3344aabb {
+		t.Errorf("funshift2 = %#x", got)
+	}
+	if got := run1(t, isa.OpFUNSHIFT3, []uint32{0x11223344, 0xaabbccdd}, 0); got != 0x44aabbcc {
+		t.Errorf("funshift3 = %#x", got)
+	}
+}
+
+func TestCLZProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		got := run1(t, isa.OpICLZ, []uint32{v}, 0)
+		if v == 0 {
+			return got == 32
+		}
+		// 2^(31-clz) <= v < 2^(32-clz)
+		return v>>(31-got) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiplier(t *testing.T) {
+	if got := run1(t, isa.OpIMUL, []uint32{0xffffffff, 5}, 0); got != 0xfffffffb {
+		t.Errorf("imul(-1,5) = %#x", got)
+	}
+	if got := run1(t, isa.OpIMULM, []uint32{0x40000000, 8}, 0); got != 2 {
+		t.Errorf("imulm = %d", got)
+	}
+	if got := run1(t, isa.OpIMULM, []uint32{0xffffffff, 5}, 0); got != 0xffffffff {
+		t.Errorf("imulm(-1,5) = %#x", got)
+	}
+	if got := run1(t, isa.OpUMULM, []uint32{0xffffffff, 5}, 0); got != 4 {
+		t.Errorf("umulm = %d", got)
+	}
+	if got := run1(t, isa.OpDSPIMUL, []uint32{0x10000, 0x10000}, 0); got != 0x7fffffff {
+		t.Errorf("dspimul overflow = %#x, want clip", got)
+	}
+	// ifir16: (2*3) + (4*5) with packed (2,4) x (3,5)
+	a := uint32(2)<<16 | 4
+	b := uint32(3)<<16 | 5
+	if got := run1(t, isa.OpIFIR16, []uint32{a, b}, 0); got != 26 {
+		t.Errorf("ifir16 = %d, want 26", got)
+	}
+	// Signed halves: (-1 * 3) + (4 * 5) = 17
+	a = 0xffff<<16 | 4
+	if got := run1(t, isa.OpIFIR16, []uint32{a, b}, 0); got != 17 {
+		t.Errorf("ifir16 signed = %d, want 17", got)
+	}
+	// ufir16 treats halves as unsigned: 65535*3 + 4*5
+	if got := run1(t, isa.OpUFIR16, []uint32{a, b}, 0); got != 65535*3+20 {
+		t.Errorf("ufir16 = %d", got)
+	}
+	if got := run1(t, isa.OpUME8UU, []uint32{0x10203040, 0x20103040}, 0); got != 32 {
+		t.Errorf("ume8uu = %d, want 32", got)
+	}
+	if got := run1(t, isa.OpUME8II, []uint32{0x7f800000, 0x807f0000}, 0); got != 255+255 {
+		t.Errorf("ume8ii = %d", got)
+	}
+	// ifir8ui: unsigned bytes of src1 times signed bytes of src2.
+	if got := run1(t, isa.OpIFIR8UI, []uint32{0x01020304, 0xff010203}, 0); got != uint32(0xffffffff&uint32(-1+2+6+12)) {
+		t.Errorf("ifir8ui = %d", got)
+	}
+}
+
+func TestSADProperties(t *testing.T) {
+	sym := func(a, b uint32) bool {
+		return run1(t, isa.OpUME8UU, []uint32{a, b}, 0) == run1(t, isa.OpUME8UU, []uint32{b, a}, 0)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error("ume8uu not symmetric:", err)
+	}
+	zero := func(a uint32) bool {
+		return run1(t, isa.OpUME8UU, []uint32{a, a}, 0) == 0
+	}
+	if err := quick.Check(zero, nil); err != nil {
+		t.Error("ume8uu(a,a) != 0:", err)
+	}
+	bound := func(a, b uint32) bool {
+		return run1(t, isa.OpUME8UU, []uint32{a, b}, 0) <= 4*255
+	}
+	if err := quick.Check(bound, nil); err != nil {
+		t.Error("ume8uu out of bounds:", err)
+	}
+}
+
+func TestDSPALU(t *testing.T) {
+	if got := run1(t, isa.OpDSPIADD, []uint32{0x7fffffff, 1}, 0); got != 0x7fffffff {
+		t.Errorf("dspiadd clip = %#x", got)
+	}
+	if got := run1(t, isa.OpDSPISUB, []uint32{0x80000000, 1}, 0); got != 0x80000000 {
+		t.Errorf("dspisub clip = %#x", got)
+	}
+	if got := run1(t, isa.OpDSPIABS, []uint32{0x80000000}, 0); got != 0x7fffffff {
+		t.Errorf("dspiabs(-2^31) = %#x, want clip", got)
+	}
+	if got := run1(t, isa.OpDSPIDUALADD, []uint32{0x7fff0001, 0x00010001}, 0); got != 0x7fff0002 {
+		t.Errorf("dspidualadd = %#x", got)
+	}
+	if got := run1(t, isa.OpDSPIDUALSUB, []uint32{0x80000005, 0x00010002}, 0); got != 0x80000003 {
+		t.Errorf("dspidualsub = %#x", got)
+	}
+	if got := run1(t, isa.OpDSPIDUALMUL, []uint32{0x00020100, 0x00030100}, 0); got != 0x00067fff {
+		t.Errorf("dspidualmul = %#x", got) // 2*3=6; 256*256 clips to 0x7fff
+	}
+	if got := run1(t, isa.OpDSPUQUADADDUI, []uint32{0xff000102, 0x01ff02fe}, 0); got != 0xff000300 {
+		t.Errorf("dspuquadaddui = %#x", got) // 255+1->255, 0+(-1)->0, 1+2=3, 2+(-2)=0
+	}
+	if got := run1(t, isa.OpQUADAVG, []uint32{0x00020406, 0x02040608}, 0); got != 0x01030507 {
+		t.Errorf("quadavg = %#x", got)
+	}
+	if got := run1(t, isa.OpQUADAVG, []uint32{0x00000001, 0x00000002}, 0); got != 0x00000002 {
+		t.Errorf("quadavg rounding = %#x", got) // (1+2+1)>>1 = 2
+	}
+	if got := run1(t, isa.OpQUADUMIN, []uint32{0x10f02080, 0x20e03070}, 0); got != 0x10e02070 {
+		t.Errorf("quadumin = %#x", got)
+	}
+	if got := run1(t, isa.OpQUADUMAX, []uint32{0x10f02080, 0x20e03070}, 0); got != 0x20f03080 {
+		t.Errorf("quadumax = %#x", got)
+	}
+	if got := run1(t, isa.OpQUADUMULMSB, []uint32{0xff10ff00, 0xffff02ff}, 0); got != 0xfe0f0100 {
+		t.Errorf("quadumulmsb = %#x", got)
+	}
+	if got := run1(t, isa.OpICLIPI, []uint32{0x7fffffff}, 7); got != 127 {
+		t.Errorf("iclipi high = %d", got)
+	}
+	if got := run1(t, isa.OpICLIPI, []uint32{0x80000000}, 7); got != uint32(0xffffff80) {
+		t.Errorf("iclipi low = %#x", got)
+	}
+	if got := run1(t, isa.OpUCLIPI, []uint32{0xffffffff}, 8); got != 0 {
+		t.Errorf("uclipi(-1) = %d, want 0", got)
+	}
+	if got := run1(t, isa.OpUCLIPI, []uint32{300}, 8); got != 255 {
+		t.Errorf("uclipi(300) = %d, want 255", got)
+	}
+	if got := run1(t, isa.OpDUALICLIPI, []uint32{0x7fff8000}, 7); got != 0x007fff80 {
+		t.Errorf("dualiclipi = %#x", got)
+	}
+	if got := run1(t, isa.OpDUALUCLIPI, []uint32{0x7fff8000}, 8); got != 0x00ff0000 {
+		t.Errorf("dualuclipi = %#x", got)
+	}
+}
+
+func TestPackMerge(t *testing.T) {
+	a, b := uint32(0x11223344), uint32(0xaabbccdd)
+	if got := run1(t, isa.OpPACK16LSB, []uint32{a, b}, 0); got != 0x3344ccdd {
+		t.Errorf("pack16lsb = %#x", got)
+	}
+	if got := run1(t, isa.OpPACK16MSB, []uint32{a, b}, 0); got != 0x1122aabb {
+		t.Errorf("pack16msb = %#x", got)
+	}
+	if got := run1(t, isa.OpPACKBYTES, []uint32{a, b}, 0); got != 0x44dd {
+		t.Errorf("packbytes = %#x", got)
+	}
+	if got := run1(t, isa.OpMERGELSB, []uint32{a, b}, 0); got != 0x33cc44dd {
+		t.Errorf("mergelsb = %#x", got)
+	}
+	if got := run1(t, isa.OpMERGEMSB, []uint32{a, b}, 0); got != 0x11aa22bb {
+		t.Errorf("mergemsb = %#x", got)
+	}
+	if got := run1(t, isa.OpMERGEDUAL16LSB, []uint32{a, b}, 0); got != 0xccdd3344 {
+		t.Errorf("mergedual16lsb = %#x", got)
+	}
+	if got := run1(t, isa.OpUBYTESEL, []uint32{a, 0}, 0); got != 0x44 {
+		t.Errorf("ubytesel 0 = %#x", got)
+	}
+	if got := run1(t, isa.OpUBYTESEL, []uint32{a, 3}, 0); got != 0x11 {
+		t.Errorf("ubytesel 3 = %#x", got)
+	}
+	if got := run1(t, isa.OpIBYTESEL, []uint32{0x80, 0}, 0); got != 0xffffff80 {
+		t.Errorf("ibytesel = %#x", got)
+	}
+}
+
+func TestFP(t *testing.T) {
+	fb := func(f float32) uint32 { return run1(t, isa.OpFADD, []uint32{fbits(f), fbits(0)}, 0) }
+	_ = fb
+	if got := run1(t, isa.OpFADD, []uint32{fbits(1.5), fbits(2.25)}, 0); got != fbits(3.75) {
+		t.Errorf("fadd = %#x", got)
+	}
+	if got := run1(t, isa.OpFSUB, []uint32{fbits(1.5), fbits(2.5)}, 0); got != fbits(-1.0) {
+		t.Errorf("fsub = %#x", got)
+	}
+	if got := run1(t, isa.OpFMUL, []uint32{fbits(3), fbits(-2)}, 0); got != fbits(-6) {
+		t.Errorf("fmul = %#x", got)
+	}
+	if got := run1(t, isa.OpFDIV, []uint32{fbits(1), fbits(4)}, 0); got != fbits(0.25) {
+		t.Errorf("fdiv = %#x", got)
+	}
+	if got := run1(t, isa.OpFSQRT, []uint32{fbits(9)}, 0); got != fbits(3) {
+		t.Errorf("fsqrt = %#x", got)
+	}
+	if got := run1(t, isa.OpFABSVAL, []uint32{fbits(-2.5)}, 0); got != fbits(2.5) {
+		t.Errorf("fabsval = %#x", got)
+	}
+	if got := run1(t, isa.OpIFLOAT, []uint32{0xffffffff}, 0); got != fbits(-1) {
+		t.Errorf("ifloat = %#x", got)
+	}
+	if got := run1(t, isa.OpUFLOAT, []uint32{0xffffffff}, 0); got != fbits(4294967295) {
+		t.Errorf("ufloat = %#x", got)
+	}
+	if got := run1(t, isa.OpIFIXIEEE, []uint32{fbits(2.5)}, 0); got != 2 {
+		t.Errorf("ifixieee(2.5) = %d, want 2 (round to even)", got)
+	}
+	if got := run1(t, isa.OpIFIXIEEE, []uint32{fbits(3.5)}, 0); got != 4 {
+		t.Errorf("ifixieee(3.5) = %d, want 4", got)
+	}
+	if got := run1(t, isa.OpIFIXIEEE, []uint32{fbits(-2.5)}, 0); got != 0xfffffffe {
+		t.Errorf("ifixieee(-2.5) = %#x, want -2", got)
+	}
+	if got := run1(t, isa.OpUFIXIEEE, []uint32{fbits(-3)}, 0); got != 0 {
+		t.Errorf("ufixieee(-3) = %d, want 0", got)
+	}
+	if got := run1(t, isa.OpFEQL, []uint32{fbits(2), fbits(2)}, 0); got != 1 {
+		t.Errorf("feql = %d", got)
+	}
+	if got := run1(t, isa.OpFGTR, []uint32{fbits(2), fbits(3)}, 0); got != 0 {
+		t.Errorf("fgtr = %d", got)
+	}
+	if got := run1(t, isa.OpFGEQ, []uint32{fbits(3), fbits(3)}, 0); got != 1 {
+		t.Errorf("fgeq = %d", got)
+	}
+}
+
+func TestLoadsStores(t *testing.T) {
+	m := mem.NewFunc()
+	m.WriteBytes(0x1000, []byte{0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88})
+
+	if got := run(t, isa.OpLD32D, []uint32{0x1000}, 0, m).Dest[0]; got != 0x11223344 {
+		t.Errorf("ld32d = %#x", got)
+	}
+	// Non-aligned load.
+	if got := run(t, isa.OpLD32D, []uint32{0x1000}, 1, m).Dest[0]; got != 0x22334455 {
+		t.Errorf("non-aligned ld32d = %#x", got)
+	}
+	if got := run(t, isa.OpLD32R, []uint32{0x1000, 4}, 0, m).Dest[0]; got != 0x55667788 {
+		t.Errorf("ld32r = %#x", got)
+	}
+	if got := run(t, isa.OpLD16D, []uint32{0x1000}, 6, m).Dest[0]; got != 0x7788 {
+		t.Errorf("ld16d = %#x", got)
+	}
+	m.WriteBytes(0x1008, []byte{0x80, 0x01})
+	if got := run(t, isa.OpLD16D, []uint32{0x1008}, 0, m).Dest[0]; got != 0xffff8001 {
+		t.Errorf("ld16d sign extension = %#x", got)
+	}
+	if got := run(t, isa.OpULD16D, []uint32{0x1008}, 0, m).Dest[0]; got != 0x8001 {
+		t.Errorf("uld16d = %#x", got)
+	}
+	if got := run(t, isa.OpLD8D, []uint32{0x1008}, 0, m).Dest[0]; got != 0xffffff80 {
+		t.Errorf("ld8d = %#x", got)
+	}
+	if got := run(t, isa.OpULD8D, []uint32{0x1008}, 0, m).Dest[0]; got != 0x80 {
+		t.Errorf("uld8d = %#x", got)
+	}
+	if got := run(t, isa.OpLD16R, []uint32{0x1008, 0}, 0, m).Dest[0]; got != 0xffff8001 {
+		t.Errorf("ld16r = %#x", got)
+	}
+	if got := run(t, isa.OpULD16R, []uint32{0x1000, 8}, 0, m).Dest[0]; got != 0x8001 {
+		t.Errorf("uld16r = %#x", got)
+	}
+	if got := run(t, isa.OpLD8R, []uint32{0x1008, 0}, 0, m).Dest[0]; got != 0xffffff80 {
+		t.Errorf("ld8r = %#x", got)
+	}
+	if got := run(t, isa.OpULD8R, []uint32{0x1000, 8}, 0, m).Dest[0]; got != 0x80 {
+		t.Errorf("uld8r = %#x", got)
+	}
+
+	run(t, isa.OpST32D, []uint32{0x2000, 0xcafebabe}, 0, m)
+	if got := m.Load(0x2000, 4); got != 0xcafebabe {
+		t.Errorf("st32d stored %#x", got)
+	}
+	run(t, isa.OpST16D, []uint32{0x2000, 0x1234}, 4, m)
+	if got := m.Load(0x2004, 2); got != 0x1234 {
+		t.Errorf("st16d stored %#x", got)
+	}
+	run(t, isa.OpST8D, []uint32{0x2000, 0xab}, 6, m)
+	if got := m.Load(0x2006, 1); got != 0xab {
+		t.Errorf("st8d stored %#x", got)
+	}
+	// Non-aligned store straddles word boundary.
+	run(t, isa.OpST32D, []uint32{0x2009, 0x11223344}, 0, m)
+	if got := m.Load(0x2009, 4); got != 0x11223344 {
+		t.Errorf("non-aligned st32d = %#x", got)
+	}
+}
+
+// TestSuperLD32R checks the Table 2 semantics: two consecutive 32-bit
+// big-endian words from rsrc3 + rsrc4.
+func TestSuperLD32R(t *testing.T) {
+	m := mem.NewFunc()
+	m.WriteBytes(0x100, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	ctx := run(t, isa.OpSUPERLD32R, []uint32{0x100, 0}, 0, m)
+	if ctx.Dest[0] != 0x01020304 || ctx.Dest[1] != 0x05060708 {
+		t.Errorf("super_ld32r = %#x, %#x", ctx.Dest[0], ctx.Dest[1])
+	}
+	// Non-aligned, indexed.
+	ctx = run(t, isa.OpSUPERLD32R, []uint32{0x100, 1}, 0, m)
+	if ctx.Dest[0] != 0x02030405 || ctx.Dest[1] != 0x06070809 {
+		t.Errorf("non-aligned super_ld32r = %#x, %#x", ctx.Dest[0], ctx.Dest[1])
+	}
+}
+
+// TestSuperDualIMix checks the Table 2 semantics, including clipping.
+func TestSuperDualIMix(t *testing.T) {
+	pack := func(hi, lo int16) uint32 { return uint32(uint16(hi))<<16 | uint32(uint16(lo)) }
+	ctx := run(t, isa.OpSUPERDUALIMIX,
+		[]uint32{pack(2, 3), pack(5, 7), pack(11, 13), pack(17, 19)}, 0, nil)
+	if ctx.Dest[0] != uint32(2*5+11*17) {
+		t.Errorf("dest1 = %d, want %d", ctx.Dest[0], 2*5+11*17)
+	}
+	if ctx.Dest[1] != uint32(3*7+13*19) {
+		t.Errorf("dest2 = %d, want %d", ctx.Dest[1], 3*7+13*19)
+	}
+	// Negative values.
+	ctx = run(t, isa.OpSUPERDUALIMIX,
+		[]uint32{pack(-2, -3), pack(5, 7), pack(11, -13), pack(17, 19)}, 0, nil)
+	if int32(ctx.Dest[0]) != -2*5+11*17 {
+		t.Errorf("dest1 = %d", int32(ctx.Dest[0]))
+	}
+	if int32(ctx.Dest[1]) != -3*7+-13*19 {
+		t.Errorf("dest2 = %d", int32(ctx.Dest[1]))
+	}
+	// Clipping: -32768 * -32768 * 2 overflows int32 and must clip.
+	ctx = run(t, isa.OpSUPERDUALIMIX,
+		[]uint32{pack(-32768, -32768), pack(-32768, -32768), pack(-32768, 32767), pack(-32768, 32767)}, 0, nil)
+	if ctx.Dest[0] != 0x7fffffff {
+		t.Errorf("dest1 = %#x, want positive clip", ctx.Dest[0])
+	}
+}
+
+// TestLDFrac8 checks the collapsed-load semantics against Table 2.
+func TestLDFrac8(t *testing.T) {
+	m := mem.NewFunc()
+	m.WriteBytes(0x40, []byte{10, 20, 30, 40, 50})
+
+	// Fraction 0: pure copy of the first four bytes.
+	got := run(t, isa.OpLDFRAC8, []uint32{0x40, 0}, 0, m).Dest[0]
+	if got != packb(10, 20, 30, 40) {
+		t.Errorf("frac 0 = %#x", got)
+	}
+	// Fraction 8: midpoint with rounding: (a*8+b*8+8)/16 = (a+b+1)/2.
+	got = run(t, isa.OpLDFRAC8, []uint32{0x40, 8}, 0, m).Dest[0]
+	if got != packb(15, 25, 35, 45) {
+		t.Errorf("frac 8 = %#x", got)
+	}
+	// Fraction 15: nearly the next byte.
+	got = run(t, isa.OpLDFRAC8, []uint32{0x40, 15}, 0, m).Dest[0]
+	want := packb(
+		(10*1+20*15+8)/16,
+		(20*1+30*15+8)/16,
+		(30*1+40*15+8)/16,
+		(40*1+50*15+8)/16)
+	if got != want {
+		t.Errorf("frac 15 = %#x, want %#x", got, want)
+	}
+	// Only the low 4 bits of the fraction participate.
+	if a, b := run(t, isa.OpLDFRAC8, []uint32{0x40, 0x10}, 0, m).Dest[0], run(t, isa.OpLDFRAC8, []uint32{0x40, 0}, 0, m).Dest[0]; a != b {
+		t.Errorf("fraction must be masked to 4 bits: %#x vs %#x", a, b)
+	}
+}
+
+func packb(b0, b1, b2, b3 uint32) uint32 { return b0<<24 | b1<<16 | b2<<8 | b3 }
+
+func fbits(f float32) uint32 { return math.Float32bits(f) }

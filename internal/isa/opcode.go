@@ -1,0 +1,158 @@
+package isa
+
+// Opcode identifies one operation of the TM3270 ISA.
+type Opcode uint16
+
+// The operation catalogue. Grouping and naming follow the TriMedia
+// convention: i/u prefixes for signed/unsigned, "dsp" for clipped
+// arithmetic, "quad"/"dual" for 4x8-bit and 2x16-bit SIMD, a "d" suffix
+// for displacement addressing and an "r" suffix for indexed addressing.
+const (
+	OpNOP Opcode = iota
+
+	// Immediate generation.
+	OpIIMM // rdest = imm (full 32-bit immediate)
+
+	// Integer ALU, single cycle.
+	OpIADD
+	OpISUB
+	OpIADDI // rdest = rsrc1 + signed imm
+	OpIMIN
+	OpIMAX
+	OpIAVGONEP // rdest = (rsrc1 + rsrc2 + 1) >> 1, signed
+	OpBITAND
+	OpBITOR
+	OpBITXOR
+	OpBITANDINV // rdest = rsrc1 &^ rsrc2
+	OpBITINV    // rdest = ^rsrc1
+	OpSEX8
+	OpSEX16
+	OpZEX8
+	OpZEX16
+	OpIEQL
+	OpINEQ
+	OpIGTR
+	OpIGEQ
+	OpILES
+	OpILEQ
+	OpUGTR
+	OpUGEQ
+	OpULES
+	OpULEQ
+	OpIEQLI // rdest = rsrc1 == signed imm
+	OpINEQI
+	OpIGTRI
+	OpILESI
+	OpIZERO    // rdest = rsrc1 == 0
+	OpINONZERO // rdest = rsrc1 != 0
+
+	// Shifter, single cycle.
+	OpASL
+	OpASR
+	OpLSR
+	OpROL
+	OpASLI
+	OpASRI
+	OpLSRI
+	OpROLI
+	OpICLZ      // count leading zeros
+	OpFUNSHIFT1 // rdest = bytes of rsrc1:rsrc2 funnel-shifted by 1
+	OpFUNSHIFT2
+	OpFUNSHIFT3
+
+	// Multiplier complex, 3-cycle.
+	OpIMUL
+	OpIMULM // rdest = high 32 bits of signed 64-bit product
+	OpUMULM
+	OpDSPIMUL // rdest = clip32(rsrc1 * rsrc2)
+	OpIFIR16  // rdest = s1.hi16*s2.hi16 + s1.lo16*s2.lo16 (signed)
+	OpUFIR16
+	OpIFIR8UI // rdest = sum of u8(s1[i]) * i8(s2[i])
+	OpUME8UU  // rdest = sum |u8(s1[i]) - u8(s2[i])| (SAD)
+	OpUME8II  // rdest = sum |i8(s1[i]) - i8(s2[i])|
+
+	// DSP ALU (clipped and packed arithmetic), 2-cycle.
+	OpDSPIADD // rdest = clip32(s1 + s2)
+	OpDSPISUB
+	OpDSPIABS
+	OpDSPIDUALADD // 2x16 clipped add
+	OpDSPIDUALSUB
+	OpDSPIDUALMUL    // 2x16 clipped multiply
+	OpDSPUQUADADDUI  // 4x8: clipU8(u8(s1[i]) + i8(s2[i]))
+	OpQUADAVG        // 4x8 unsigned average with rounding
+	OpQUADUMIN       // 4x8 unsigned minimum
+	OpQUADUMAX       // 4x8 unsigned maximum
+	OpICLIPI         // rdest = clip s1 to [-2^imm, 2^imm-1]
+	OpUCLIPI         // rdest = clip s1 to [0, 2^imm-1]
+	OpDUALICLIPI     // 2x16 clip of two signed values
+	OpDUALUCLIPI     // 2x16 clip to unsigned
+	OpPACK16LSB      // rdest = s1.lo16 : s2.lo16
+	OpPACK16MSB      // rdest = s1.hi16 : s2.hi16
+	OpPACKBYTES      // rdest = s1.b3? see semantics: low bytes of s1,s2
+	OpMERGELSB       // rdest = s1.b2 s2.b2 s1.b3 s2.b3 (low bytes interleave)
+	OpMERGEMSB       // high-byte interleave
+	OpMERGEDUAL16LSB // rdest = s1.lo16 above s2.lo16? see semantics
+	OpUBYTESEL       // rdest = u8 byte of s1 selected by s2[1:0]
+	OpIBYTESEL       // sign-extended byte select
+	OpQUADUMULMSB    // 4x8: high byte of u8*u8 products
+
+	// Floating point (IEEE-754 single precision).
+	OpFADD
+	OpFSUB
+	OpFABSVAL
+	OpIFLOAT   // int32 -> float
+	OpUFLOAT   // uint32 -> float
+	OpIFIXIEEE // float -> int32, round to nearest even
+	OpUFIXIEEE
+	OpFEQL
+	OpFGTR
+	OpFGEQ
+	OpFMUL
+	OpFDIV
+	OpFSQRT
+
+	// Branches. Target is an immediate instruction address; execution is
+	// guarded (JMPT jumps when the guard is true, JMPF when false, JMPI
+	// unconditionally).
+	OpJMPI
+	OpJMPT
+	OpJMPF
+
+	// Loads. The "d" forms add a signed immediate displacement to
+	// rsrc1, the "r" forms add rsrc2. All accesses are big-endian and
+	// may be non-aligned (penalty-free in the TM3270 data cache).
+	OpLD32D
+	OpLD32R
+	OpLD16D // sign-extending
+	OpLD16R
+	OpULD16D
+	OpULD16R
+	OpLD8D
+	OpLD8R
+	OpULD8D
+	OpULD8R
+
+	// Stores (rsrc2 is the value; displacement forms only, as on
+	// TriMedia). ALLOCD allocates a cache line without fetching it.
+	OpST32D
+	OpST16D
+	OpST8D
+	OpALLOCD
+
+	// Collapsed load with interpolation (Table 2): loads five
+	// consecutive bytes at rsrc1 and returns four values interpolated
+	// at fractional position rsrc2[3:0] in sixteenths.
+	OpLDFRAC8
+
+	// Two-slot super operations (Table 2).
+	OpSUPERDUALIMIX // 2x (16-bit pairwise MAC, clipped to 32 bits)
+	OpSUPERLD32R    // load two consecutive 32-bit words
+	OpSUPERCABACSTR // CABAC bitstream step
+	OpSUPERCABACCTX // CABAC context step
+	OpSUPERUME8UU   // 8-byte SAD (motion-estimation extension)
+
+	numOpcodes
+)
+
+// NumOpcodes is the number of defined operations.
+const NumOpcodes = int(numOpcodes)

@@ -1,0 +1,19 @@
+package isa
+
+func registerCtlOps() {
+	// Jumps have five architectural delay slots on the TM3270 (three on
+	// the TM3260); the delay-slot count lives in the target
+	// configuration, not here. The immediate operand is the target.
+	//
+	// Guarding: jmpt jumps when its guard is true, jmpf when its guard
+	// is false (GuardInverted), jmpi is the unguarded spelling used with
+	// the default r1 guard.
+	jump := func(name string, inverted bool) OpInfo {
+		return OpInfo{Name: name, Class: UnitBranch, Latency: 1, HasImm: true,
+			Size: Size42, IsJump: true, GuardInverted: inverted,
+			Exec: func(c *ExecContext) { c.Taken = true }}
+	}
+	register(OpJMPI, jump("jmpi", false))
+	register(OpJMPT, jump("jmpt", false))
+	register(OpJMPF, jump("jmpf", true))
+}

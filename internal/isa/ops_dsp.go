@@ -1,0 +1,118 @@
+package isa
+
+func registerDSPOps() {
+	register(OpDSPIADD, rr("dspiadd", UnitDSPALU, 2, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = clip32(int64(int32(c.Src[0])) + int64(int32(c.Src[1])))
+	}))
+	register(OpDSPISUB, rr("dspisub", UnitDSPALU, 2, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = clip32(int64(int32(c.Src[0])) - int64(int32(c.Src[1])))
+	}))
+	register(OpDSPIABS, rr("dspiabs", UnitDSPALU, 2, 1, Size26, func(c *ExecContext) {
+		v := int64(int32(c.Src[0]))
+		if v < 0 {
+			v = -v
+		}
+		c.Dest[0] = clip32(v)
+	}))
+	register(OpDSPIDUALADD, rr("dspidualadd", UnitDSPALU, 2, 2, Size26, func(c *ExecContext) {
+		h := clip16(hi16(c.Src[0]) + hi16(c.Src[1]))
+		l := clip16(lo16(c.Src[0]) + lo16(c.Src[1]))
+		c.Dest[0] = dual16(uint32(h), uint32(l))
+	}))
+	register(OpDSPIDUALSUB, rr("dspidualsub", UnitDSPALU, 2, 2, Size26, func(c *ExecContext) {
+		h := clip16(hi16(c.Src[0]) - hi16(c.Src[1]))
+		l := clip16(lo16(c.Src[0]) - lo16(c.Src[1]))
+		c.Dest[0] = dual16(uint32(h), uint32(l))
+	}))
+	register(OpDSPIDUALMUL, rr("dspidualmul", UnitDSPALU, 2, 2, Size26, func(c *ExecContext) {
+		ph := int64(hi16(c.Src[0])) * int64(hi16(c.Src[1]))
+		pl := int64(lo16(c.Src[0])) * int64(lo16(c.Src[1]))
+		c.Dest[0] = dual16(uint32(clip16s64(ph)), uint32(clip16s64(pl)))
+	}))
+	register(OpDSPUQUADADDUI, rr("dspuquadaddui", UnitDSPALU, 2, 2, Size26, func(c *ExecContext) {
+		var b [4]uint32
+		for i := 0; i < 4; i++ {
+			b[i] = uint32(clipU8(int32(byteOf(c.Src[0], i)) + sbyteOf(c.Src[1], i)))
+		}
+		c.Dest[0] = packBytes(b[0], b[1], b[2], b[3])
+	}))
+	register(OpQUADAVG, rr("quadavg", UnitDSPALU, 2, 2, Size26, func(c *ExecContext) {
+		var b [4]uint32
+		for i := 0; i < 4; i++ {
+			b[i] = (byteOf(c.Src[0], i) + byteOf(c.Src[1], i) + 1) >> 1
+		}
+		c.Dest[0] = packBytes(b[0], b[1], b[2], b[3])
+	}))
+	register(OpQUADUMIN, rr("quadumin", UnitDSPALU, 2, 2, Size26, func(c *ExecContext) {
+		var b [4]uint32
+		for i := 0; i < 4; i++ {
+			b[i] = min(byteOf(c.Src[0], i), byteOf(c.Src[1], i))
+		}
+		c.Dest[0] = packBytes(b[0], b[1], b[2], b[3])
+	}))
+	register(OpQUADUMAX, rr("quadumax", UnitDSPALU, 2, 2, Size26, func(c *ExecContext) {
+		var b [4]uint32
+		for i := 0; i < 4; i++ {
+			b[i] = max(byteOf(c.Src[0], i), byteOf(c.Src[1], i))
+		}
+		c.Dest[0] = packBytes(b[0], b[1], b[2], b[3])
+	}))
+	register(OpQUADUMULMSB, rr("quadumulmsb", UnitDSPMul, 3, 2, Size26, func(c *ExecContext) {
+		var b [4]uint32
+		for i := 0; i < 4; i++ {
+			b[i] = (byteOf(c.Src[0], i) * byteOf(c.Src[1], i)) >> 8
+		}
+		c.Dest[0] = packBytes(b[0], b[1], b[2], b[3])
+	}))
+	register(OpICLIPI, ri("iclipi", UnitDSPALU, 2, Size34, func(c *ExecContext) {
+		c.Dest[0] = clipSigned(int32(c.Src[0]), c.Imm)
+	}))
+	register(OpUCLIPI, ri("uclipi", UnitDSPALU, 2, Size34, func(c *ExecContext) {
+		c.Dest[0] = clipUnsigned(int32(c.Src[0]), c.Imm)
+	}))
+	register(OpDUALICLIPI, ri("dualiclipi", UnitDSPALU, 2, Size34, func(c *ExecContext) {
+		h := clipSigned(hi16(c.Src[0]), c.Imm)
+		l := clipSigned(lo16(c.Src[0]), c.Imm)
+		c.Dest[0] = dual16(h, l)
+	}))
+	register(OpDUALUCLIPI, ri("dualuclipi", UnitDSPALU, 2, Size34, func(c *ExecContext) {
+		h := clipUnsigned(hi16(c.Src[0]), c.Imm)
+		l := clipUnsigned(lo16(c.Src[0]), c.Imm)
+		c.Dest[0] = dual16(h, l)
+	}))
+	register(OpPACK16LSB, rr("pack16lsb", UnitDSPALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = dual16(c.Src[0]&0xffff, c.Src[1]&0xffff)
+	}))
+	register(OpPACK16MSB, rr("pack16msb", UnitDSPALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = dual16(c.Src[0]>>16, c.Src[1]>>16)
+	}))
+	register(OpPACKBYTES, rr("packbytes", UnitDSPALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = (c.Src[0]&0xff)<<8 | c.Src[1]&0xff
+	}))
+	register(OpMERGELSB, rr("mergelsb", UnitDSPALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = packBytes(byteOf(c.Src[0], 2), byteOf(c.Src[1], 2), byteOf(c.Src[0], 3), byteOf(c.Src[1], 3))
+	}))
+	register(OpMERGEMSB, rr("mergemsb", UnitDSPALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = packBytes(byteOf(c.Src[0], 0), byteOf(c.Src[1], 0), byteOf(c.Src[0], 1), byteOf(c.Src[1], 1))
+	}))
+	register(OpMERGEDUAL16LSB, rr("mergedual16lsb", UnitDSPALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = dual16(c.Src[1]&0xffff, c.Src[0]&0xffff)
+	}))
+	register(OpUBYTESEL, rr("ubytesel", UnitDSPALU, 1, 2, Size26, func(c *ExecContext) {
+		// Byte index 0 selects the least significant byte.
+		c.Dest[0] = byteOf(c.Src[0], 3-int(c.Src[1]&3))
+	}))
+	register(OpIBYTESEL, rr("ibytesel", UnitDSPALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = uint32(int32(int8(byteOf(c.Src[0], 3-int(c.Src[1]&3)))))
+	}))
+}
+
+func clip16s64(v int64) uint16 {
+	if v > 0x7fff {
+		return 0x7fff
+	}
+	if v < -0x8000 {
+		return 0x8000
+	}
+	return uint16(v)
+}

@@ -1,0 +1,68 @@
+package isa
+
+import "math"
+
+func f32(v uint32) float32   { return math.Float32frombits(v) }
+func fbits(f float32) uint32 { return math.Float32bits(f) }
+
+func registerFPOps() {
+	register(OpFADD, rr("fadd", UnitFALU, 3, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = fbits(f32(c.Src[0]) + f32(c.Src[1]))
+	}))
+	register(OpFSUB, rr("fsub", UnitFALU, 3, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = fbits(f32(c.Src[0]) - f32(c.Src[1]))
+	}))
+	register(OpFABSVAL, rr("fabsval", UnitFALU, 3, 1, Size26, func(c *ExecContext) {
+		c.Dest[0] = c.Src[0] &^ 0x80000000
+	}))
+	register(OpIFLOAT, rr("ifloat", UnitFALU, 3, 1, Size26, func(c *ExecContext) {
+		c.Dest[0] = fbits(float32(int32(c.Src[0])))
+	}))
+	register(OpUFLOAT, rr("ufloat", UnitFALU, 3, 1, Size26, func(c *ExecContext) {
+		c.Dest[0] = fbits(float32(c.Src[0]))
+	}))
+	register(OpIFIXIEEE, rr("ifixieee", UnitFALU, 3, 1, Size26, func(c *ExecContext) {
+		f := float64(f32(c.Src[0]))
+		r := math.RoundToEven(f)
+		switch {
+		case math.IsNaN(r):
+			c.Dest[0] = 0
+		case r > math.MaxInt32:
+			c.Dest[0] = 0x7fffffff
+		case r < math.MinInt32:
+			c.Dest[0] = 0x80000000
+		default:
+			c.Dest[0] = uint32(int32(r))
+		}
+	}))
+	register(OpUFIXIEEE, rr("ufixieee", UnitFALU, 3, 1, Size26, func(c *ExecContext) {
+		f := float64(f32(c.Src[0]))
+		r := math.RoundToEven(f)
+		switch {
+		case math.IsNaN(r) || r < 0:
+			c.Dest[0] = 0
+		case r > math.MaxUint32:
+			c.Dest[0] = 0xffffffff
+		default:
+			c.Dest[0] = uint32(r)
+		}
+	}))
+	register(OpFEQL, rr("feql", UnitFComp, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = b2u(f32(c.Src[0]) == f32(c.Src[1]))
+	}))
+	register(OpFGTR, rr("fgtr", UnitFComp, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = b2u(f32(c.Src[0]) > f32(c.Src[1]))
+	}))
+	register(OpFGEQ, rr("fgeq", UnitFComp, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = b2u(f32(c.Src[0]) >= f32(c.Src[1]))
+	}))
+	register(OpFMUL, rr("fmul", UnitFMul, 3, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = fbits(f32(c.Src[0]) * f32(c.Src[1]))
+	}))
+	register(OpFDIV, rr("fdiv", UnitFTough, 17, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = fbits(f32(c.Src[0]) / f32(c.Src[1]))
+	}))
+	register(OpFSQRT, rr("fsqrt", UnitFTough, 17, 1, Size26, func(c *ExecContext) {
+		c.Dest[0] = fbits(float32(math.Sqrt(float64(f32(c.Src[0])))))
+	}))
+}

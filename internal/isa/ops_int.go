@@ -1,0 +1,227 @@
+package isa
+
+// registerAll installs every operation. It is split by operation group;
+// each group function registers its table entries.
+func registerAll() {
+	registerIntOps()
+	registerShiftOps()
+	registerMulOps()
+	registerDSPOps()
+	registerFPOps()
+	registerCtlOps()
+	registerMemOps()
+	registerSuperOps()
+}
+
+// rr describes a common single-destination register-register operation.
+func rr(name string, class UnitClass, lat int, nsrc int, size SizeClass, exec ExecFunc) OpInfo {
+	return OpInfo{Name: name, Class: class, Latency: lat, NSrc: nsrc, NDest: 1, Size: size, Exec: exec}
+}
+
+// ri describes a single-destination register-immediate operation.
+func ri(name string, class UnitClass, lat int, size SizeClass, exec ExecFunc) OpInfo {
+	return OpInfo{Name: name, Class: class, Latency: lat, NSrc: 1, NDest: 1, HasImm: true, Size: size, Exec: exec}
+}
+
+func registerIntOps() {
+	register(OpNOP, OpInfo{Name: "nop", Class: UnitNone, Latency: 1, Size: Size26,
+		Exec: func(*ExecContext) {}})
+
+	register(OpIIMM, OpInfo{Name: "iimm", Class: UnitConst, Latency: 1, NDest: 1,
+		HasImm: true, Size: Size42,
+		Exec: func(c *ExecContext) { c.Dest[0] = c.Imm }})
+
+	register(OpIADD, rr("iadd", UnitALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = c.Src[0] + c.Src[1]
+	}))
+	register(OpISUB, rr("isub", UnitALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = c.Src[0] - c.Src[1]
+	}))
+	register(OpIADDI, ri("iaddi", UnitALU, 1, Size34, func(c *ExecContext) {
+		c.Dest[0] = c.Src[0] + c.Imm
+	}))
+	register(OpIMIN, rr("imin", UnitALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = uint32(min(int32(c.Src[0]), int32(c.Src[1])))
+	}))
+	register(OpIMAX, rr("imax", UnitALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = uint32(max(int32(c.Src[0]), int32(c.Src[1])))
+	}))
+	register(OpIAVGONEP, rr("iavgonep", UnitALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = uint32((int64(int32(c.Src[0])) + int64(int32(c.Src[1])) + 1) >> 1)
+	}))
+	register(OpBITAND, rr("bitand", UnitALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = c.Src[0] & c.Src[1]
+	}))
+	register(OpBITOR, rr("bitor", UnitALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = c.Src[0] | c.Src[1]
+	}))
+	register(OpBITXOR, rr("bitxor", UnitALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = c.Src[0] ^ c.Src[1]
+	}))
+	register(OpBITANDINV, rr("bitandinv", UnitALU, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = c.Src[0] &^ c.Src[1]
+	}))
+	register(OpBITINV, rr("bitinv", UnitALU, 1, 1, Size26, func(c *ExecContext) {
+		c.Dest[0] = ^c.Src[0]
+	}))
+	register(OpSEX8, rr("sex8", UnitALU, 1, 1, Size26, func(c *ExecContext) {
+		c.Dest[0] = uint32(int32(int8(c.Src[0])))
+	}))
+	register(OpSEX16, rr("sex16", UnitALU, 1, 1, Size26, func(c *ExecContext) {
+		c.Dest[0] = uint32(int32(int16(c.Src[0])))
+	}))
+	register(OpZEX8, rr("zex8", UnitALU, 1, 1, Size26, func(c *ExecContext) {
+		c.Dest[0] = c.Src[0] & 0xff
+	}))
+	register(OpZEX16, rr("zex16", UnitALU, 1, 1, Size26, func(c *ExecContext) {
+		c.Dest[0] = c.Src[0] & 0xffff
+	}))
+
+	cmp := func(name string, op Opcode, f func(a, b uint32) bool) {
+		register(op, rr(name, UnitALU, 1, 2, Size26, func(c *ExecContext) {
+			c.Dest[0] = b2u(f(c.Src[0], c.Src[1]))
+		}))
+	}
+	cmp("ieql", OpIEQL, func(a, b uint32) bool { return a == b })
+	cmp("ineq", OpINEQ, func(a, b uint32) bool { return a != b })
+	cmp("igtr", OpIGTR, func(a, b uint32) bool { return int32(a) > int32(b) })
+	cmp("igeq", OpIGEQ, func(a, b uint32) bool { return int32(a) >= int32(b) })
+	cmp("iles", OpILES, func(a, b uint32) bool { return int32(a) < int32(b) })
+	cmp("ileq", OpILEQ, func(a, b uint32) bool { return int32(a) <= int32(b) })
+	cmp("ugtr", OpUGTR, func(a, b uint32) bool { return a > b })
+	cmp("ugeq", OpUGEQ, func(a, b uint32) bool { return a >= b })
+	cmp("ules", OpULES, func(a, b uint32) bool { return a < b })
+	cmp("uleq", OpULEQ, func(a, b uint32) bool { return a <= b })
+
+	cmpi := func(name string, op Opcode, f func(a, imm uint32) bool) {
+		register(op, ri(name, UnitALU, 1, Size34, func(c *ExecContext) {
+			c.Dest[0] = b2u(f(c.Src[0], c.Imm))
+		}))
+	}
+	cmpi("ieqli", OpIEQLI, func(a, i uint32) bool { return a == i })
+	cmpi("ineqi", OpINEQI, func(a, i uint32) bool { return a != i })
+	cmpi("igtri", OpIGTRI, func(a, i uint32) bool { return int32(a) > int32(i) })
+	cmpi("ilesi", OpILESI, func(a, i uint32) bool { return int32(a) < int32(i) })
+
+	register(OpIZERO, rr("izero", UnitALU, 1, 1, Size26, func(c *ExecContext) {
+		c.Dest[0] = b2u(c.Src[0] == 0)
+	}))
+	register(OpINONZERO, rr("inonzero", UnitALU, 1, 1, Size26, func(c *ExecContext) {
+		c.Dest[0] = b2u(c.Src[0] != 0)
+	}))
+}
+
+func registerShiftOps() {
+	register(OpASL, rr("asl", UnitShifter, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = c.Src[0] << (c.Src[1] & 31)
+	}))
+	register(OpASR, rr("asr", UnitShifter, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = uint32(int32(c.Src[0]) >> (c.Src[1] & 31))
+	}))
+	register(OpLSR, rr("lsr", UnitShifter, 1, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = c.Src[0] >> (c.Src[1] & 31)
+	}))
+	register(OpROL, rr("rol", UnitShifter, 1, 2, Size26, func(c *ExecContext) {
+		n := c.Src[1] & 31
+		if n == 0 {
+			c.Dest[0] = c.Src[0]
+			return
+		}
+		c.Dest[0] = c.Src[0]<<n | c.Src[0]>>(32-n)
+	}))
+	register(OpASLI, ri("asli", UnitShifter, 1, Size34, func(c *ExecContext) {
+		c.Dest[0] = c.Src[0] << (c.Imm & 31)
+	}))
+	register(OpASRI, ri("asri", UnitShifter, 1, Size34, func(c *ExecContext) {
+		c.Dest[0] = uint32(int32(c.Src[0]) >> (c.Imm & 31))
+	}))
+	register(OpLSRI, ri("lsri", UnitShifter, 1, Size34, func(c *ExecContext) {
+		c.Dest[0] = c.Src[0] >> (c.Imm & 31)
+	}))
+	register(OpROLI, ri("roli", UnitShifter, 1, Size34, func(c *ExecContext) {
+		n := c.Imm & 31
+		if n == 0 {
+			c.Dest[0] = c.Src[0]
+			return
+		}
+		c.Dest[0] = c.Src[0]<<n | c.Src[0]>>(32-n)
+	}))
+	register(OpICLZ, rr("iclz", UnitShifter, 1, 1, Size26, func(c *ExecContext) {
+		n := uint32(0)
+		v := c.Src[0]
+		if v == 0 {
+			c.Dest[0] = 32
+			return
+		}
+		for v&0x80000000 == 0 {
+			v <<= 1
+			n++
+		}
+		c.Dest[0] = n
+	}))
+
+	funshift := func(name string, op Opcode, n uint) {
+		register(op, rr(name, UnitShifter, 1, 2, Size26, func(c *ExecContext) {
+			c.Dest[0] = c.Src[0]<<(8*n) | c.Src[1]>>(32-8*n)
+		}))
+	}
+	funshift("funshift1", OpFUNSHIFT1, 1)
+	funshift("funshift2", OpFUNSHIFT2, 2)
+	funshift("funshift3", OpFUNSHIFT3, 3)
+}
+
+func registerMulOps() {
+	register(OpIMUL, rr("imul", UnitDSPMul, 3, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = uint32(int32(c.Src[0]) * int32(c.Src[1]))
+	}))
+	register(OpIMULM, rr("imulm", UnitDSPMul, 3, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = uint32((int64(int32(c.Src[0])) * int64(int32(c.Src[1]))) >> 32)
+	}))
+	register(OpUMULM, rr("umulm", UnitDSPMul, 3, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = uint32((uint64(c.Src[0]) * uint64(c.Src[1])) >> 32)
+	}))
+	register(OpDSPIMUL, rr("dspimul", UnitDSPMul, 3, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = clip32(int64(int32(c.Src[0])) * int64(int32(c.Src[1])))
+	}))
+	register(OpIFIR16, rr("ifir16", UnitDSPMul, 3, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = uint32(hi16(c.Src[0])*hi16(c.Src[1]) + lo16(c.Src[0])*lo16(c.Src[1]))
+	}))
+	register(OpUFIR16, rr("ufir16", UnitDSPMul, 3, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = uint32(uhi16(c.Src[0])*uhi16(c.Src[1]) + ulo16(c.Src[0])*ulo16(c.Src[1]))
+	}))
+	register(OpIFIR8UI, rr("ifir8ui", UnitDSPMul, 3, 2, Size26, func(c *ExecContext) {
+		var s int32
+		for i := 0; i < 4; i++ {
+			s += int32(byteOf(c.Src[0], i)) * sbyteOf(c.Src[1], i)
+		}
+		c.Dest[0] = uint32(s)
+	}))
+	register(OpUME8UU, rr("ume8uu", UnitDSPMul, 3, 2, Size26, func(c *ExecContext) {
+		c.Dest[0] = sad4(c.Src[0], c.Src[1])
+	}))
+	register(OpUME8II, rr("ume8ii", UnitDSPMul, 3, 2, Size26, func(c *ExecContext) {
+		var s uint32
+		for i := 0; i < 4; i++ {
+			d := sbyteOf(c.Src[0], i) - sbyteOf(c.Src[1], i)
+			if d < 0 {
+				d = -d
+			}
+			s += uint32(d)
+		}
+		c.Dest[0] = s
+	}))
+}
+
+// sad4 sums the absolute differences of the four unsigned byte lanes.
+func sad4(a, b uint32) uint32 {
+	var s uint32
+	for i := 0; i < 4; i++ {
+		x, y := byteOf(a, i), byteOf(b, i)
+		if x >= y {
+			s += x - y
+		} else {
+			s += y - x
+		}
+	}
+	return s
+}

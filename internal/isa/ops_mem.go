@@ -1,0 +1,88 @@
+package isa
+
+// load builds the OpInfo of a load operation. Load latency listed here
+// is the TM3270 value (4 cycles); the scheduler substitutes the target
+// configuration's load latency (the TM3260 has 3-cycle loads).
+func load(name string, nsrc, bytes int, hasImm bool, exec ExecFunc) OpInfo {
+	return OpInfo{Name: name, Class: UnitLoad, Latency: 4, NSrc: nsrc, NDest: 1,
+		HasImm: hasImm, Size: Size34, IsLoad: true, MemBytes: bytes, Exec: exec}
+}
+
+func store(name string, bytes int, exec ExecFunc) OpInfo {
+	return OpInfo{Name: name, Class: UnitStore, Latency: 1, NSrc: 2, NDest: 0,
+		HasImm: true, Size: Size34, IsStore: true, MemBytes: bytes, Exec: exec}
+}
+
+func sext(v uint64, bits uint) uint32 {
+	shift := 64 - bits
+	return uint32(int64(v<<shift) >> shift)
+}
+
+func registerMemOps() {
+	// Displacement loads: address = rsrc1 + signed immediate.
+	register(OpLD32D, load("ld32d", 1, 4, true, func(c *ExecContext) {
+		c.Dest[0] = uint32(c.Mem.Load(c.Src[0]+c.Imm, 4))
+	}))
+	register(OpLD16D, load("ld16d", 1, 2, true, func(c *ExecContext) {
+		c.Dest[0] = sext(c.Mem.Load(c.Src[0]+c.Imm, 2), 16)
+	}))
+	register(OpULD16D, load("uld16d", 1, 2, true, func(c *ExecContext) {
+		c.Dest[0] = uint32(c.Mem.Load(c.Src[0]+c.Imm, 2))
+	}))
+	register(OpLD8D, load("ld8d", 1, 1, true, func(c *ExecContext) {
+		c.Dest[0] = sext(c.Mem.Load(c.Src[0]+c.Imm, 1), 8)
+	}))
+	register(OpULD8D, load("uld8d", 1, 1, true, func(c *ExecContext) {
+		c.Dest[0] = uint32(c.Mem.Load(c.Src[0]+c.Imm, 1))
+	}))
+
+	// Indexed loads: address = rsrc1 + rsrc2.
+	register(OpLD32R, load("ld32r", 2, 4, false, func(c *ExecContext) {
+		c.Dest[0] = uint32(c.Mem.Load(c.Src[0]+c.Src[1], 4))
+	}))
+	register(OpLD16R, load("ld16r", 2, 2, false, func(c *ExecContext) {
+		c.Dest[0] = sext(c.Mem.Load(c.Src[0]+c.Src[1], 2), 16)
+	}))
+	register(OpULD16R, load("uld16r", 2, 2, false, func(c *ExecContext) {
+		c.Dest[0] = uint32(c.Mem.Load(c.Src[0]+c.Src[1], 2))
+	}))
+	register(OpLD8R, load("ld8r", 2, 1, false, func(c *ExecContext) {
+		c.Dest[0] = sext(c.Mem.Load(c.Src[0]+c.Src[1], 1), 8)
+	}))
+	register(OpULD8R, load("uld8r", 2, 1, false, func(c *ExecContext) {
+		c.Dest[0] = uint32(c.Mem.Load(c.Src[0]+c.Src[1], 1))
+	}))
+
+	// Stores: address = rsrc1 + signed immediate, value = rsrc2.
+	register(OpST32D, store("st32d", 4, func(c *ExecContext) {
+		c.Mem.Store(c.Src[0]+c.Imm, 4, uint64(c.Src[1]))
+	}))
+	register(OpST16D, store("st16d", 2, func(c *ExecContext) {
+		c.Mem.Store(c.Src[0]+c.Imm, 2, uint64(c.Src[1]&0xffff))
+	}))
+	register(OpST8D, store("st8d", 1, func(c *ExecContext) {
+		c.Mem.Store(c.Src[0]+c.Imm, 1, uint64(c.Src[1]&0xff))
+	}))
+
+	// ALLOCD allocates (validates) the cache line containing
+	// rsrc1 + imm without fetching it from memory. Functionally a no-op;
+	// the data cache model gives it its timing meaning.
+	register(OpALLOCD, OpInfo{Name: "allocd", Class: UnitStore, Latency: 1,
+		NSrc: 1, HasImm: true, Size: Size34, IsStore: true, MemBytes: 0,
+		Exec: func(*ExecContext) {}})
+
+	// Collapsed load with interpolation (Table 2, LD_FRAC8): five bytes
+	// at rsrc1, pairwise interpolated at fraction rsrc2[3:0] sixteenths.
+	register(OpLDFRAC8, OpInfo{Name: "ld_frac8", Class: UnitFracLoad, Latency: 6,
+		NSrc: 2, NDest: 1, Size: Size34, IsLoad: true, MemBytes: 5,
+		Exec: func(c *ExecContext) {
+			f := c.Src[1] & 0xf
+			data := c.Mem.Load(c.Src[0], 5) // 5 bytes, big-endian, bits [39:0]
+			b := func(i uint) uint32 { return uint32(data>>(32-8*i)) & 0xff }
+			var out [4]uint32
+			for i := uint(0); i < 4; i++ {
+				out[i] = (b(i)*(16-f) + b(i+1)*f + 8) / 16
+			}
+			c.Dest[0] = packBytes(out[0], out[1], out[2], out[3])
+		}})
+}

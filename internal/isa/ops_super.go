@@ -1,0 +1,69 @@
+package isa
+
+import "tm3270/internal/cabac"
+
+func registerSuperOps() {
+	// SUPER_DUALIMIX (Table 2): two pairwise 16-bit multiply-accumulates,
+	// each clipped to the signed 32-bit range.
+	register(OpSUPERDUALIMIX, OpInfo{Name: "super_dualimix", Class: UnitSuper,
+		Latency: 4, NSrc: 4, NDest: 2, Size: Size34, TwoSlot: true,
+		Exec: func(c *ExecContext) {
+			hi := int64(hi16(c.Src[0]))*int64(hi16(c.Src[1])) +
+				int64(hi16(c.Src[2]))*int64(hi16(c.Src[3]))
+			lo := int64(lo16(c.Src[0]))*int64(lo16(c.Src[1])) +
+				int64(lo16(c.Src[2]))*int64(lo16(c.Src[3]))
+			c.Dest[0] = clip32(hi)
+			c.Dest[1] = clip32(lo)
+		}})
+
+	// SUPER_LD32R (Table 2): two consecutive big-endian 32-bit words
+	// from address rsrc3 + rsrc4 (passed as Src[0] and Src[1]).
+	register(OpSUPERLD32R, OpInfo{Name: "super_ld32r", Class: UnitSuperLS,
+		Latency: 4, NSrc: 2, NDest: 2, Size: Size34, TwoSlot: true,
+		IsLoad: true, MemBytes: 8,
+		Exec: func(c *ExecContext) {
+			v := c.Mem.Load(c.Src[0]+c.Src[1], 8)
+			c.Dest[0] = uint32(v >> 32)
+			c.Dest[1] = uint32(v)
+		}})
+
+	// SUPER_CABAC_STR (Table 2): the bitstream half of a CABAC decode
+	// step. rsrc1 = DUAL16(value, range), rsrc2 = stream_bit_position,
+	// rsrc3 unused, rsrc4 = DUAL16(state, mps).
+	// rdest1 = new stream_bit_position, rdest2 = decoded bit.
+	register(OpSUPERCABACSTR, OpInfo{Name: "super_cabac_str", Class: UnitCABAC,
+		Latency: 4, NSrc: 4, NDest: 2, Size: Size34, TwoSlot: true,
+		Exec: func(c *ExecContext) {
+			value, rng := c.Src[0]>>16, c.Src[0]&0xffff
+			state, mps := c.Src[3]>>16&63, c.Src[3]&1
+			// The consumed-bit count and the decoded bit do not depend
+			// on the stream data itself, only on range and the compare.
+			res := cabac.Step(value, rng, 0, state, mps)
+			c.Dest[0] = c.Src[1] + uint32(res.Consumed)
+			c.Dest[1] = res.Bit
+		}})
+
+	// SUPER_CABAC_CTX (Table 2): the context half of a CABAC decode
+	// step. rsrc1 = DUAL16(value, range), rsrc2 = stream_bit_position,
+	// rsrc3 = stream_data, rsrc4 = DUAL16(state, mps).
+	// rdest1 = DUAL16(value', range'), rdest2 = DUAL16(state', mps').
+	register(OpSUPERCABACCTX, OpInfo{Name: "super_cabac_ctx", Class: UnitCABAC,
+		Latency: 4, NSrc: 4, NDest: 2, Size: Size34, TwoSlot: true,
+		Exec: func(c *ExecContext) {
+			value, rng := c.Src[0]>>16, c.Src[0]&0xffff
+			state, mps := c.Src[3]>>16&63, c.Src[3]&1
+			aligned := c.Src[2] << (c.Src[1] & 31)
+			res := cabac.Step(value, rng, aligned, state, mps)
+			c.Dest[0] = dual16(res.Value, res.Range)
+			c.Dest[1] = dual16(res.State, res.MPS)
+		}})
+
+	// SUPER_UME8UU: eight-byte sum of absolute differences, the
+	// motion-estimation companion of the collapsed loads ([12]): SAD of
+	// the byte pairs of (rsrc1:rsrc2) against (rsrc3:rsrc4).
+	register(OpSUPERUME8UU, OpInfo{Name: "super_ume8uu", Class: UnitSuper,
+		Latency: 4, NSrc: 4, NDest: 1, Size: Size34, TwoSlot: true,
+		Exec: func(c *ExecContext) {
+			c.Dest[0] = sad4(c.Src[0], c.Src[2]) + sad4(c.Src[1], c.Src[3])
+		}})
+}

@@ -1,0 +1,82 @@
+// Package isa defines the TM3270 instruction set architecture: the register
+// model, the functional-unit inventory, the operation catalogue with per-
+// operation metadata (issue slots, latency, encoding size class) and the
+// executable semantics of every operation.
+//
+// The operation set recreates the documented properties of the TriMedia
+// TM3270 ISA (van de Waerdt et al., MICRO 2005): guarded RISC-like
+// operations, 1x32/2x16/4x8-bit SIMD, two-slot "super" operations with up
+// to four sources and two destinations, collapsed loads with interpolation
+// (LD_FRAC8) and the CABAC entropy-decoding operations.
+package isa
+
+import "fmt"
+
+// Reg names one of the 128 registers of the unified register file.
+//
+// Two registers have hardwired values, as in all TriMedia processors:
+// R0 always reads 0 and R1 always reads 1. Writes to them are ignored.
+// R1 doubles as the default "always true" guard of unguarded operations.
+type Reg uint8
+
+const (
+	// NumRegs is the size of the unified register file.
+	NumRegs = 128
+
+	// R0 always reads as 0.
+	R0 Reg = 0
+	// R1 always reads as 1; it is the default guard register.
+	R1 Reg = 1
+)
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Hardwired reports whether r is one of the two constant registers.
+func (r Reg) Hardwired() bool { return r == R0 || r == R1 }
+
+// String returns the assembler name of the register ("r42").
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// RegFile is the unified 128x32-bit register file.
+//
+// The zero value is ready to use: r0 and r1 read as their hardwired
+// values from the first access.
+type RegFile struct {
+	v [NumRegs]uint32
+}
+
+// Read returns the current value of register r.
+func (f *RegFile) Read(r Reg) uint32 {
+	switch r {
+	case R0:
+		return 0
+	case R1:
+		return 1
+	default:
+		return f.v[r]
+	}
+}
+
+// Write sets register r to v. Writes to the hardwired registers r0 and
+// r1 are silently dropped, as on the real machine.
+func (f *RegFile) Write(r Reg, v uint32) {
+	if r.Hardwired() {
+		return
+	}
+	f.v[r] = v
+}
+
+// Reset clears every writable register to zero.
+func (f *RegFile) Reset() {
+	f.v = [NumRegs]uint32{}
+}
+
+// Snapshot returns a copy of the architectural register state with the
+// hardwired values materialized. Intended for debugging and tests.
+func (f *RegFile) Snapshot() [NumRegs]uint32 {
+	s := f.v
+	s[R0] = 0
+	s[R1] = 1
+	return s
+}

@@ -1,0 +1,199 @@
+package isa
+
+// UnitClass identifies a class of functional unit. Every operation
+// executes on exactly one class; the class determines the issue slots in
+// which the operation may be scheduled.
+type UnitClass uint8
+
+const (
+	// UnitNone is the class of the NOP pseudo-operation.
+	UnitNone UnitClass = iota
+	// UnitConst produces immediate values (IIMM).
+	UnitConst
+	// UnitALU performs single-cycle integer arithmetic and logic.
+	UnitALU
+	// UnitShifter performs shifts, rotates and funnel shifts.
+	UnitShifter
+	// UnitDSPALU performs clipped and packed (SIMD) arithmetic.
+	UnitDSPALU
+	// UnitDSPMul performs multiplications, FIR and SAD operations.
+	UnitDSPMul
+	// UnitBranch executes jump operations.
+	UnitBranch
+	// UnitFALU performs single-precision FP add/sub/convert.
+	UnitFALU
+	// UnitFComp performs single-cycle FP comparisons.
+	UnitFComp
+	// UnitFMul performs single-precision FP multiplication.
+	UnitFMul
+	// UnitFTough performs long-latency FP division and square root.
+	UnitFTough
+	// UnitLoad performs memory loads (data-array port, slot 5 on TM3270).
+	UnitLoad
+	// UnitStore performs memory stores and cache-line allocates.
+	UnitStore
+	// UnitFracLoad performs collapsed loads with interpolation (LD_FRAC8).
+	UnitFracLoad
+	// UnitSuper executes two-slot arithmetic super operations in the
+	// slot (2,3) pair.
+	UnitSuper
+	// UnitSuperLS executes the two-slot SUPER_LD32R in the slot (4,5)
+	// pair (the data-cache access path stays restricted to slot 5).
+	UnitSuperLS
+	// UnitCABAC executes the two-slot CABAC operations in the slot
+	// (2,3) pair.
+	UnitCABAC
+
+	numUnitClasses
+)
+
+var unitClassNames = [numUnitClasses]string{
+	UnitNone:     "none",
+	UnitConst:    "const",
+	UnitALU:      "alu",
+	UnitShifter:  "shifter",
+	UnitDSPALU:   "dspalu",
+	UnitDSPMul:   "dspmul",
+	UnitBranch:   "branch",
+	UnitFALU:     "falu",
+	UnitFComp:    "fcomp",
+	UnitFMul:     "fmul",
+	UnitFTough:   "ftough",
+	UnitLoad:     "load",
+	UnitStore:    "store",
+	UnitFracLoad: "fracload",
+	UnitSuper:    "super",
+	UnitSuperLS:  "superls",
+	UnitCABAC:    "cabac",
+}
+
+func (c UnitClass) String() string {
+	if int(c) < len(unitClassNames) {
+		return unitClassNames[c]
+	}
+	return "unit?"
+}
+
+// SlotMask is a bit set of issue slots. Slot numbers are 1..5 as in the
+// paper; bit (n-1) represents slot n.
+type SlotMask uint8
+
+// Slot returns the mask containing only slot n (1..5).
+func Slot(n int) SlotMask { return 1 << (n - 1) }
+
+// Slots builds a mask from a list of slot numbers.
+func Slots(ns ...int) SlotMask {
+	var m SlotMask
+	for _, n := range ns {
+		m |= Slot(n)
+	}
+	return m
+}
+
+// Has reports whether slot n (1..5) is in the mask.
+func (m SlotMask) Has(n int) bool { return m&Slot(n) != 0 }
+
+// Count returns the number of slots in the mask.
+func (m SlotMask) Count() int {
+	c := 0
+	for n := 1; n <= 5; n++ {
+		if m.Has(n) {
+			c++
+		}
+	}
+	return c
+}
+
+// AllSlots contains the five issue slots.
+const AllSlots = SlotMask(0x1f)
+
+// unitSlots maps each unit class to the slots in which operations of
+// that class may issue on the TM3270. Two-slot classes list the *first*
+// slot of their pair; the second slot is first+1.
+//
+// The load class is config-dependent (the TM3260 issues loads in slots 4
+// and 5, the TM3270 only in slot 5); this table holds TM3270 defaults and
+// the scheduler consults its target configuration to widen it.
+var unitSlots = map[UnitClass]SlotMask{
+	UnitNone:     AllSlots,
+	UnitConst:    AllSlots,
+	UnitALU:      AllSlots,
+	UnitShifter:  Slots(1, 2),
+	UnitDSPALU:   Slots(1, 3),
+	UnitDSPMul:   Slots(2, 3),
+	UnitBranch:   Slots(2, 3, 4),
+	UnitFALU:     Slots(1, 4),
+	UnitFComp:    Slots(3),
+	UnitFMul:     Slots(2, 3),
+	UnitFTough:   Slots(5),
+	UnitLoad:     Slots(5),
+	UnitStore:    Slots(4, 5),
+	UnitFracLoad: Slots(5),
+	UnitSuper:    Slots(2), // pair (2,3)
+	UnitSuperLS:  Slots(4), // pair (4,5)
+	UnitCABAC:    Slots(2), // pair (2,3)
+}
+
+// DefaultSlots returns the TM3270 issue-slot mask for a unit class. For
+// two-slot classes the mask names the first slot of the pair.
+func DefaultSlots(c UnitClass) SlotMask { return unitSlots[c] }
+
+// Unit is one physical functional unit instance.
+type Unit struct {
+	Name  string
+	Class UnitClass
+	// Slot is the issue slot the unit is attached to (1..5). Two-slot
+	// units occupy Slot and Slot+1.
+	Slot    int
+	TwoSlot bool
+}
+
+// Units is the TM3270 functional-unit inventory. The paper reports 31
+// functional units (Table 1); the per-slot placement recreates the
+// published TriMedia slot assignments plus the TM3270 additions (the
+// two-slot super units, the CABAC unit and the fractional-load filter).
+var Units = []Unit{
+	// Five constant/immediate generators, one per slot.
+	{"const1", UnitConst, 1, false},
+	{"const2", UnitConst, 2, false},
+	{"const3", UnitConst, 3, false},
+	{"const4", UnitConst, 4, false},
+	{"const5", UnitConst, 5, false},
+	// Five single-cycle integer ALUs, one per slot.
+	{"alu1", UnitALU, 1, false},
+	{"alu2", UnitALU, 2, false},
+	{"alu3", UnitALU, 3, false},
+	{"alu4", UnitALU, 4, false},
+	{"alu5", UnitALU, 5, false},
+	// Two shifters.
+	{"shifter1", UnitShifter, 1, false},
+	{"shifter2", UnitShifter, 2, false},
+	// Two DSP ALUs (packed/clipped arithmetic).
+	{"dspalu1", UnitDSPALU, 1, false},
+	{"dspalu3", UnitDSPALU, 3, false},
+	// Two DSP multiplier complexes (also FIR/SAD).
+	{"dspmul2", UnitDSPMul, 2, false},
+	{"dspmul3", UnitDSPMul, 3, false},
+	// Three branch units.
+	{"branch2", UnitBranch, 2, false},
+	{"branch3", UnitBranch, 3, false},
+	{"branch4", UnitBranch, 4, false},
+	// Floating point: two adders, one comparator, two multipliers, one
+	// divide/sqrt unit.
+	{"falu1", UnitFALU, 1, false},
+	{"falu4", UnitFALU, 4, false},
+	{"fcomp3", UnitFComp, 3, false},
+	{"fmul2", UnitFMul, 2, false},
+	{"fmul3", UnitFMul, 3, false},
+	{"ftough5", UnitFTough, 5, false},
+	// Load/store: stores in slots 4 and 5 (dual tag copies), the data
+	// array load port in slot 5, and the interpolating filter bank
+	// behind slot 5 for collapsed loads.
+	{"store4", UnitStore, 4, false},
+	{"loadstore5", UnitLoad, 5, false},
+	{"fracfilter5", UnitFracLoad, 5, false},
+	// TM3270 two-slot units.
+	{"super23", UnitSuper, 2, true},
+	{"cabac23", UnitCABAC, 2, true},
+	{"superls45", UnitSuperLS, 4, true},
+}

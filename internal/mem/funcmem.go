@@ -1,0 +1,97 @@
+// Package mem provides the memory-system substrates: the functional
+// (value-holding) memory image and the DDR SDRAM timing model behind the
+// processor's bus interface unit.
+package mem
+
+// pageBits selects a 4 KB page granularity for the sparse image.
+const pageBits = 12
+
+// Func is a sparse functional memory image over the full 32-bit address
+// space. All multi-byte accesses are big-endian and may be non-aligned,
+// matching the ISA's memory semantics. The zero value is an empty image
+// reading as zero everywhere.
+type Func struct {
+	pages map[uint32]*[1 << pageBits]byte
+}
+
+// NewFunc returns an empty memory image.
+func NewFunc() *Func {
+	return &Func{pages: make(map[uint32]*[1 << pageBits]byte)}
+}
+
+func (m *Func) page(addr uint32, create bool) *[1 << pageBits]byte {
+	idx := addr >> pageBits
+	p := m.pages[idx]
+	if p == nil && create {
+		p = new([1 << pageBits]byte)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr.
+func (m *Func) ByteAt(addr uint32) byte {
+	if p := m.page(addr, false); p != nil {
+		return p[addr&(1<<pageBits-1)]
+	}
+	return 0
+}
+
+// SetByte sets the byte at addr.
+func (m *Func) SetByte(addr uint32, v byte) {
+	m.page(addr, true)[addr&(1<<pageBits-1)] = v
+}
+
+// Load implements isa.Memory: n bytes (1..8) big-endian starting at addr.
+func (m *Func) Load(addr uint32, n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v = v<<8 | uint64(m.ByteAt(addr+uint32(i)))
+	}
+	return v
+}
+
+// Store implements isa.Memory: the n low-order bytes of v, big-endian.
+func (m *Func) Store(addr uint32, n int, v uint64) {
+	for i := n - 1; i >= 0; i-- {
+		m.SetByte(addr+uint32(i), byte(v))
+		v >>= 8
+	}
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Func) WriteBytes(addr uint32, b []byte) {
+	for i, x := range b {
+		m.SetByte(addr+uint32(i), x)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Func) ReadBytes(addr uint32, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = m.ByteAt(addr + uint32(i))
+	}
+	return b
+}
+
+// Diff returns the first address at which the two images differ. It
+// compares the union of both images' populated pages.
+func Diff(a, b *Func) (uint32, bool) {
+	pages := map[uint32]bool{}
+	for idx := range a.pages {
+		pages[idx] = true
+	}
+	for idx := range b.pages {
+		pages[idx] = true
+	}
+	for idx := range pages {
+		base := idx << pageBits
+		for off := uint32(0); off < 1<<pageBits; off++ {
+			if a.ByteAt(base+off) != b.ByteAt(base+off) {
+				return base + off, true
+			}
+		}
+	}
+	return 0, false
+}

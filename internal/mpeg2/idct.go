@@ -1,0 +1,106 @@
+// Package mpeg2 provides the MPEG2-decoder substrate behind the
+// mpeg2_a/b/c workloads of Table 5: the fixed-point 8x8 inverse DCT
+// (whose exact integer arithmetic the DSL kernel reproduces
+// bit-for-bit), synthetic streams with motion-vector fields of
+// controlled disruptiveness, residual coefficient generation, and the
+// pure-Go reference reconstruction the simulated kernels are checked
+// against.
+package mpeg2
+
+import "math"
+
+// Cos is the coefficient table: Cos[k] = round(2048 * cos(k*pi/16)).
+// The 11-bit scale keeps all ifir16 products within 32 bits.
+var Cos = [8]int32{2048, 2009, 1892, 1703, 1448, 1138, 784, 400}
+
+// Shifts of the two 1-D passes. The row pass keeps 3 fractional bits
+// (so row outputs fit comfortably in 16 bits for the packed column
+// pass); the column pass removes the remaining scale.
+const (
+	RowShift = 9
+	ColShift = 15
+)
+
+// idct1d performs the even/odd (Chen) 1-D transform used by both
+// passes. in[0..7] are the coefficients in natural order.
+func idct1d(in *[8]int32, shift uint) [8]int32 {
+	c := &Cos
+	e0 := c[4]*in[0] + c[2]*in[2] + c[4]*in[4] + c[6]*in[6]
+	e1 := c[4]*in[0] + c[6]*in[2] - c[4]*in[4] - c[2]*in[6]
+	e2 := c[4]*in[0] - c[6]*in[2] - c[4]*in[4] + c[2]*in[6]
+	e3 := c[4]*in[0] - c[2]*in[2] + c[4]*in[4] - c[6]*in[6]
+	o0 := c[1]*in[1] + c[3]*in[3] + c[5]*in[5] + c[7]*in[7]
+	o1 := c[3]*in[1] - c[7]*in[3] - c[1]*in[5] - c[5]*in[7]
+	o2 := c[5]*in[1] - c[1]*in[3] + c[7]*in[5] + c[3]*in[7]
+	o3 := c[7]*in[1] - c[5]*in[3] + c[3]*in[5] - c[1]*in[7]
+	r := int32(1) << (shift - 1)
+	var out [8]int32
+	out[0] = (e0 + o0 + r) >> shift
+	out[7] = (e0 - o0 + r) >> shift
+	out[1] = (e1 + o1 + r) >> shift
+	out[6] = (e1 - o1 + r) >> shift
+	out[2] = (e2 + o2 + r) >> shift
+	out[5] = (e2 - o2 + r) >> shift
+	out[3] = (e3 + o3 + r) >> shift
+	out[4] = (e3 - o3 + r) >> shift
+	return out
+}
+
+// IDCT8x8 performs the in-place fixed-point 2-D inverse DCT, row pass
+// then column pass, with final clipping to the residual range ±255.
+// The DSL kernel implements exactly this arithmetic.
+func IDCT8x8(block *[64]int32) {
+	var tmp [64]int32
+	for r := 0; r < 8; r++ {
+		var row [8]int32
+		copy(row[:], block[8*r:8*r+8])
+		out := idct1d(&row, RowShift)
+		copy(tmp[8*r:], out[:])
+	}
+	for cIdx := 0; cIdx < 8; cIdx++ {
+		var col [8]int32
+		for r := 0; r < 8; r++ {
+			col[r] = tmp[8*r+cIdx]
+		}
+		out := idct1d(&col, ColShift)
+		for r := 0; r < 8; r++ {
+			v := out[r]
+			// Residual clip matching the TM3270 iclipi(v, 8) operation:
+			// [-2^8, 2^8-1].
+			if v > 255 {
+				v = 255
+			}
+			if v < -256 {
+				v = -256
+			}
+			block[8*r+cIdx] = v
+		}
+	}
+}
+
+// IDCTFloat is the double-precision reference used to bound the
+// fixed-point error of IDCT8x8.
+func IDCTFloat(block *[64]float64) {
+	var out [64]float64
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			sum := 0.0
+			for u := 0; u < 8; u++ {
+				for v := 0; v < 8; v++ {
+					cu, cv := 1.0, 1.0
+					if u == 0 {
+						cu = 1 / math.Sqrt2
+					}
+					if v == 0 {
+						cv = 1 / math.Sqrt2
+					}
+					sum += cu * cv * block[8*u+v] *
+						math.Cos(float64(2*x+1)*float64(u)*math.Pi/16) *
+						math.Cos(float64(2*y+1)*float64(v)*math.Pi/16)
+				}
+			}
+			out[8*x+y] = sum / 4
+		}
+	}
+	copy(block[:], out[:])
+}

@@ -1,0 +1,98 @@
+// Package prefetch implements the TM3270's memory-region based hardware
+// prefetcher (Section 2.3): four software-programmed regions, each with
+// a start address, end address and stride. When the processor performs a
+// load from an address A inside region n and the line at A+STRIDEn is
+// absent from the data cache, a prefetch of that line is issued to the
+// refill engine. Prefetched data lands directly in the data cache — the
+// large 4-way 128 KB cache makes victimization of useful data unlikely,
+// so no stream buffers are needed.
+package prefetch
+
+// NumRegions is the number of architected prefetch regions.
+const NumRegions = 4
+
+// MMIOBase is the memory-mapped address of the prefetch configuration
+// registers. Region n occupies three 32-bit registers at
+// MMIOBase + 16n: START, END, STRIDE.
+const MMIOBase = 0xEFF00000
+
+// MMIOSize is the extent of the prefetch register block.
+const MMIOSize = NumRegions * 16
+
+// Region is one programmed prefetch region.
+type Region struct {
+	Start  uint32 // PFn_START_ADDR
+	End    uint32 // PFn_END_ADDR (exclusive)
+	Stride uint32 // PFn_STRIDE (two's complement; may walk backwards)
+}
+
+// Active reports whether the region is enabled (a zero-size region is
+// disabled).
+func (r *Region) Active() bool { return r.End > r.Start }
+
+// Contains reports whether addr lies inside the region.
+func (r *Region) Contains(addr uint32) bool {
+	return r.Active() && addr >= r.Start && addr < r.End
+}
+
+// Unit is the prefetch unit state.
+type Unit struct {
+	Regions [NumRegions]Region
+
+	// Statistics.
+	Triggers int64 // loads that hit a region
+	Issued   int64 // prefetches sent to the refill engine
+}
+
+// IsMMIO reports whether addr falls in the configuration register block.
+func IsMMIO(addr uint32) bool {
+	return addr >= MMIOBase && addr < MMIOBase+MMIOSize
+}
+
+// StoreMMIO handles a store to the configuration registers.
+func (u *Unit) StoreMMIO(addr uint32, val uint32) {
+	off := addr - MMIOBase
+	n := off / 16
+	if n >= NumRegions {
+		return
+	}
+	switch off % 16 {
+	case 0:
+		u.Regions[n].Start = val
+	case 4:
+		u.Regions[n].End = val
+	case 8:
+		u.Regions[n].Stride = val
+	}
+}
+
+// LoadMMIO reads back a configuration register.
+func (u *Unit) LoadMMIO(addr uint32) uint32 {
+	off := addr - MMIOBase
+	n := off / 16
+	if n >= NumRegions {
+		return 0
+	}
+	switch off % 16 {
+	case 0:
+		return u.Regions[n].Start
+	case 4:
+		return u.Regions[n].End
+	case 8:
+		return u.Regions[n].Stride
+	}
+	return 0
+}
+
+// Candidate returns the prefetch address triggered by a load from addr,
+// if any. The caller (the data cache) is responsible for the
+// already-present / already-pending filtering and for issuing the fill.
+func (u *Unit) Candidate(addr uint32) (uint32, bool) {
+	for i := range u.Regions {
+		if u.Regions[i].Contains(addr) {
+			u.Triggers++
+			return addr + u.Regions[i].Stride, true
+		}
+	}
+	return 0, false
+}

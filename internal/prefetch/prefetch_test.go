@@ -1,0 +1,86 @@
+package prefetch_test
+
+import (
+	"testing"
+
+	"tm3270/internal/prefetch"
+)
+
+func TestMMIOProgramming(t *testing.T) {
+	u := &prefetch.Unit{}
+	// Program region 2 via its memory-mapped registers.
+	base := uint32(prefetch.MMIOBase + 2*16)
+	u.StoreMMIO(base+0, 0x100000)
+	u.StoreMMIO(base+4, 0x180000)
+	u.StoreMMIO(base+8, 720*4)
+	r := u.Regions[2]
+	if r.Start != 0x100000 || r.End != 0x180000 || r.Stride != 720*4 {
+		t.Fatalf("region = %+v", r)
+	}
+	if u.LoadMMIO(base+0) != 0x100000 || u.LoadMMIO(base+4) != 0x180000 || u.LoadMMIO(base+8) != 720*4 {
+		t.Error("MMIO readback mismatch")
+	}
+	if !prefetch.IsMMIO(base) || prefetch.IsMMIO(0x100000) {
+		t.Error("IsMMIO misclassifies")
+	}
+}
+
+func TestCandidate(t *testing.T) {
+	u := &prefetch.Unit{}
+	u.Regions[0] = prefetch.Region{Start: 0x1000, End: 0x2000, Stride: 0x80}
+	if _, ok := u.Candidate(0x0fff); ok {
+		t.Error("address below region triggered")
+	}
+	if _, ok := u.Candidate(0x2000); ok {
+		t.Error("region end is exclusive")
+	}
+	addr, ok := u.Candidate(0x1800)
+	if !ok || addr != 0x1880 {
+		t.Errorf("candidate = %#x,%v, want 0x1880", addr, ok)
+	}
+	if u.Triggers != 1 {
+		t.Errorf("triggers = %d", u.Triggers)
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	// Two's-complement stride walks backwards (bottom-up image
+	// processing).
+	u := &prefetch.Unit{}
+	u.Regions[1] = prefetch.Region{Start: 0x1000, End: 0x2000, Stride: ^uint32(0x7f)} // -128
+	addr, ok := u.Candidate(0x1800)
+	if !ok || addr != 0x1780 {
+		t.Errorf("candidate = %#x, want 0x1780", addr)
+	}
+}
+
+func TestFourRegions(t *testing.T) {
+	u := &prefetch.Unit{}
+	for i := 0; i < prefetch.NumRegions; i++ {
+		u.Regions[i] = prefetch.Region{
+			Start:  uint32(i+1) << 16,
+			End:    uint32(i+1)<<16 + 0x1000,
+			Stride: 64,
+		}
+	}
+	for i := 0; i < prefetch.NumRegions; i++ {
+		a := uint32(i+1)<<16 + 0x100
+		got, ok := u.Candidate(a)
+		if !ok || got != a+64 {
+			t.Errorf("region %d: candidate(%#x) = %#x,%v", i, a, got, ok)
+		}
+	}
+	if _, ok := u.Candidate(0x60000 + 0x2000); ok {
+		t.Error("address outside every region triggered")
+	}
+}
+
+func TestDisabledRegion(t *testing.T) {
+	u := &prefetch.Unit{}
+	if u.Regions[0].Active() {
+		t.Error("zero region must be inactive")
+	}
+	if _, ok := u.Candidate(0); ok {
+		t.Error("inactive region triggered")
+	}
+}

@@ -1,0 +1,294 @@
+package prog
+
+import (
+	"fmt"
+
+	"tm3270/internal/isa"
+)
+
+// Builder constructs a Program incrementally. Operations append to the
+// current basic block; Label starts a new one, and any branch closes the
+// block it terminates.
+type Builder struct {
+	prog *Program
+	cur  *Block
+	next int // next virtual register id
+}
+
+// NewBuilder starts an empty program. Virtual registers 0 and 1 are
+// pre-reserved for the pinned Zero/One registers.
+func NewBuilder(name string) *Builder {
+	b := &Builder{
+		prog: &Program{Name: name},
+		next: 2,
+	}
+	b.cur = &Block{}
+	b.prog.Blocks = append(b.prog.Blocks, b.cur)
+	return b
+}
+
+// Reg allocates a fresh virtual register.
+func (b *Builder) Reg() VReg {
+	v := VReg(b.next)
+	b.next++
+	return v
+}
+
+// Regs allocates n fresh virtual registers.
+func (b *Builder) Regs(n int) []VReg {
+	rs := make([]VReg, n)
+	for i := range rs {
+		rs[i] = b.Reg()
+	}
+	return rs
+}
+
+// Label starts a new basic block with the given label.
+func (b *Builder) Label(name string) {
+	if b.cur.Label == "" && len(b.cur.Ops) == 0 {
+		// Empty unlabeled block: take it over instead of leaving a hole.
+		b.cur.Label = name
+		return
+	}
+	b.cur = &Block{Label: name}
+	b.prog.Blocks = append(b.prog.Blocks, b.cur)
+}
+
+// Emit appends a raw operation and returns a pointer to it so that the
+// caller may adjust the guard: b.Add(d, x, y).Guard(g).
+func (b *Builder) Emit(op Op) *Op {
+	if op.Guard == 0 {
+		op.Guard = One
+	}
+	if op.Info().IsJump {
+		b.cur.Ops = append(b.cur.Ops, op)
+		emitted := &b.cur.Ops[len(b.cur.Ops)-1]
+		// A branch terminates its block; subsequent operations fall into
+		// a fresh anonymous block.
+		b.cur = &Block{}
+		b.prog.Blocks = append(b.prog.Blocks, b.cur)
+		return emitted
+	}
+	b.cur.Ops = append(b.cur.Ops, op)
+	return &b.cur.Ops[len(b.cur.Ops)-1]
+}
+
+// InGroup sets the memory alias group of the operation and returns it:
+// memory operations in different non-zero groups never alias.
+func (o *Op) InGroup(g int8) *Op { o.MemGroup = g; return o }
+
+// WithGuard sets the guard register of the operation and returns it,
+// enabling b.Add(d, x, y).WithGuard(g). A guard of Zero would never
+// execute; Emit treats the zero value as "unguarded" (One).
+func (o *Op) WithGuard(g VReg) *Op { o.Guard = g; return o }
+
+// Program finalizes and validates the program.
+func (b *Builder) Program() (*Program, error) {
+	// Drop a trailing empty anonymous block left behind by a final jump.
+	if n := len(b.prog.Blocks); n > 0 {
+		last := b.prog.Blocks[n-1]
+		if last.Label == "" && len(last.Ops) == 0 {
+			b.prog.Blocks = b.prog.Blocks[:n-1]
+		}
+	}
+	b.prog.NumVRegs = b.next
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustProgram is Program, panicking on validation failure. Kernels are
+// static, so a failure is a programming error.
+func (b *Builder) MustProgram() *Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(fmt.Sprintf("prog: invalid kernel: %v", err))
+	}
+	return p
+}
+
+// ---- typed emit helpers ----
+
+func (b *Builder) op3(oc isa.Opcode, d, s1, s2 VReg) *Op {
+	return b.Emit(Op{Opcode: oc, Src: [4]VReg{s1, s2}, Dest: [2]VReg{d}})
+}
+
+func (b *Builder) op2(oc isa.Opcode, d, s VReg) *Op {
+	return b.Emit(Op{Opcode: oc, Src: [4]VReg{s}, Dest: [2]VReg{d}})
+}
+
+func (b *Builder) op2i(oc isa.Opcode, d, s VReg, imm uint32) *Op {
+	return b.Emit(Op{Opcode: oc, Src: [4]VReg{s}, Dest: [2]VReg{d}, Imm: imm})
+}
+
+// Nop emits a no-operation.
+func (b *Builder) Nop() *Op { return b.Emit(Op{Opcode: isa.OpNOP}) }
+
+// Imm loads a 32-bit constant.
+func (b *Builder) Imm(d VReg, v uint32) *Op {
+	return b.Emit(Op{Opcode: isa.OpIIMM, Dest: [2]VReg{d}, Imm: v})
+}
+
+// ImmReg allocates a register and loads a constant into it.
+func (b *Builder) ImmReg(v uint32) VReg {
+	d := b.Reg()
+	b.Imm(d, v)
+	return d
+}
+
+// Mov copies s into d (an iadd with the zero register).
+func (b *Builder) Mov(d, s VReg) *Op { return b.op3(isa.OpIADD, d, s, Zero) }
+
+func (b *Builder) Add(d, s1, s2 VReg) *Op { return b.op3(isa.OpIADD, d, s1, s2) }
+func (b *Builder) Sub(d, s1, s2 VReg) *Op { return b.op3(isa.OpISUB, d, s1, s2) }
+func (b *Builder) AddI(d, s VReg, imm int32) *Op {
+	return b.op2i(isa.OpIADDI, d, s, uint32(imm))
+}
+func (b *Builder) Min(d, s1, s2 VReg) *Op        { return b.op3(isa.OpIMIN, d, s1, s2) }
+func (b *Builder) Max(d, s1, s2 VReg) *Op        { return b.op3(isa.OpIMAX, d, s1, s2) }
+func (b *Builder) AvgOneP(d, s1, s2 VReg) *Op    { return b.op3(isa.OpIAVGONEP, d, s1, s2) }
+func (b *Builder) And(d, s1, s2 VReg) *Op        { return b.op3(isa.OpBITAND, d, s1, s2) }
+func (b *Builder) Or(d, s1, s2 VReg) *Op         { return b.op3(isa.OpBITOR, d, s1, s2) }
+func (b *Builder) Xor(d, s1, s2 VReg) *Op        { return b.op3(isa.OpBITXOR, d, s1, s2) }
+func (b *Builder) AndInv(d, s1, s2 VReg) *Op     { return b.op3(isa.OpBITANDINV, d, s1, s2) }
+func (b *Builder) Inv(d, s VReg) *Op             { return b.op2(isa.OpBITINV, d, s) }
+func (b *Builder) Sex8(d, s VReg) *Op            { return b.op2(isa.OpSEX8, d, s) }
+func (b *Builder) Sex16(d, s VReg) *Op           { return b.op2(isa.OpSEX16, d, s) }
+func (b *Builder) Zex8(d, s VReg) *Op            { return b.op2(isa.OpZEX8, d, s) }
+func (b *Builder) Zex16(d, s VReg) *Op           { return b.op2(isa.OpZEX16, d, s) }
+func (b *Builder) Eql(d, s1, s2 VReg) *Op        { return b.op3(isa.OpIEQL, d, s1, s2) }
+func (b *Builder) Neq(d, s1, s2 VReg) *Op        { return b.op3(isa.OpINEQ, d, s1, s2) }
+func (b *Builder) Gtr(d, s1, s2 VReg) *Op        { return b.op3(isa.OpIGTR, d, s1, s2) }
+func (b *Builder) Geq(d, s1, s2 VReg) *Op        { return b.op3(isa.OpIGEQ, d, s1, s2) }
+func (b *Builder) Les(d, s1, s2 VReg) *Op        { return b.op3(isa.OpILES, d, s1, s2) }
+func (b *Builder) Leq(d, s1, s2 VReg) *Op        { return b.op3(isa.OpILEQ, d, s1, s2) }
+func (b *Builder) UGtr(d, s1, s2 VReg) *Op       { return b.op3(isa.OpUGTR, d, s1, s2) }
+func (b *Builder) ULes(d, s1, s2 VReg) *Op       { return b.op3(isa.OpULES, d, s1, s2) }
+func (b *Builder) UGeq(d, s1, s2 VReg) *Op       { return b.op3(isa.OpUGEQ, d, s1, s2) }
+func (b *Builder) ULeq(d, s1, s2 VReg) *Op       { return b.op3(isa.OpULEQ, d, s1, s2) }
+func (b *Builder) EqlI(d, s VReg, imm int32) *Op { return b.op2i(isa.OpIEQLI, d, s, uint32(imm)) }
+func (b *Builder) NeqI(d, s VReg, imm int32) *Op { return b.op2i(isa.OpINEQI, d, s, uint32(imm)) }
+func (b *Builder) GtrI(d, s VReg, imm int32) *Op { return b.op2i(isa.OpIGTRI, d, s, uint32(imm)) }
+func (b *Builder) LesI(d, s VReg, imm int32) *Op { return b.op2i(isa.OpILESI, d, s, uint32(imm)) }
+func (b *Builder) IsZero(d, s VReg) *Op          { return b.op2(isa.OpIZERO, d, s) }
+func (b *Builder) NonZero(d, s VReg) *Op         { return b.op2(isa.OpINONZERO, d, s) }
+
+func (b *Builder) Asl(d, s1, s2 VReg) *Op         { return b.op3(isa.OpASL, d, s1, s2) }
+func (b *Builder) Asr(d, s1, s2 VReg) *Op         { return b.op3(isa.OpASR, d, s1, s2) }
+func (b *Builder) Lsr(d, s1, s2 VReg) *Op         { return b.op3(isa.OpLSR, d, s1, s2) }
+func (b *Builder) AslI(d, s VReg, imm uint32) *Op { return b.op2i(isa.OpASLI, d, s, imm) }
+func (b *Builder) AsrI(d, s VReg, imm uint32) *Op { return b.op2i(isa.OpASRI, d, s, imm) }
+func (b *Builder) LsrI(d, s VReg, imm uint32) *Op { return b.op2i(isa.OpLSRI, d, s, imm) }
+func (b *Builder) Clz(d, s VReg) *Op              { return b.op2(isa.OpICLZ, d, s) }
+func (b *Builder) FunShift1(d, s1, s2 VReg) *Op   { return b.op3(isa.OpFUNSHIFT1, d, s1, s2) }
+func (b *Builder) FunShift2(d, s1, s2 VReg) *Op   { return b.op3(isa.OpFUNSHIFT2, d, s1, s2) }
+func (b *Builder) FunShift3(d, s1, s2 VReg) *Op   { return b.op3(isa.OpFUNSHIFT3, d, s1, s2) }
+
+func (b *Builder) Mul(d, s1, s2 VReg) *Op     { return b.op3(isa.OpIMUL, d, s1, s2) }
+func (b *Builder) MulM(d, s1, s2 VReg) *Op    { return b.op3(isa.OpIMULM, d, s1, s2) }
+func (b *Builder) UMulM(d, s1, s2 VReg) *Op   { return b.op3(isa.OpUMULM, d, s1, s2) }
+func (b *Builder) DspMul(d, s1, s2 VReg) *Op  { return b.op3(isa.OpDSPIMUL, d, s1, s2) }
+func (b *Builder) IFir16(d, s1, s2 VReg) *Op  { return b.op3(isa.OpIFIR16, d, s1, s2) }
+func (b *Builder) UFir16(d, s1, s2 VReg) *Op  { return b.op3(isa.OpUFIR16, d, s1, s2) }
+func (b *Builder) IFir8UI(d, s1, s2 VReg) *Op { return b.op3(isa.OpIFIR8UI, d, s1, s2) }
+func (b *Builder) UME8UU(d, s1, s2 VReg) *Op  { return b.op3(isa.OpUME8UU, d, s1, s2) }
+
+func (b *Builder) DspAdd(d, s1, s2 VReg) *Op         { return b.op3(isa.OpDSPIADD, d, s1, s2) }
+func (b *Builder) DspSub(d, s1, s2 VReg) *Op         { return b.op3(isa.OpDSPISUB, d, s1, s2) }
+func (b *Builder) DspAbs(d, s VReg) *Op              { return b.op2(isa.OpDSPIABS, d, s) }
+func (b *Builder) DspDualAdd(d, s1, s2 VReg) *Op     { return b.op3(isa.OpDSPIDUALADD, d, s1, s2) }
+func (b *Builder) DspDualSub(d, s1, s2 VReg) *Op     { return b.op3(isa.OpDSPIDUALSUB, d, s1, s2) }
+func (b *Builder) DspDualMul(d, s1, s2 VReg) *Op     { return b.op3(isa.OpDSPIDUALMUL, d, s1, s2) }
+func (b *Builder) QuadAddUI(d, s1, s2 VReg) *Op      { return b.op3(isa.OpDSPUQUADADDUI, d, s1, s2) }
+func (b *Builder) QuadAvg(d, s1, s2 VReg) *Op        { return b.op3(isa.OpQUADAVG, d, s1, s2) }
+func (b *Builder) QuadUMin(d, s1, s2 VReg) *Op       { return b.op3(isa.OpQUADUMIN, d, s1, s2) }
+func (b *Builder) QuadUMax(d, s1, s2 VReg) *Op       { return b.op3(isa.OpQUADUMAX, d, s1, s2) }
+func (b *Builder) ClipI(d, s VReg, bits uint32) *Op  { return b.op2i(isa.OpICLIPI, d, s, bits) }
+func (b *Builder) UClipI(d, s VReg, bits uint32) *Op { return b.op2i(isa.OpUCLIPI, d, s, bits) }
+func (b *Builder) DualClipI(d, s VReg, bits uint32) *Op {
+	return b.op2i(isa.OpDUALICLIPI, d, s, bits)
+}
+func (b *Builder) DualUClipI(d, s VReg, bits uint32) *Op {
+	return b.op2i(isa.OpDUALUCLIPI, d, s, bits)
+}
+func (b *Builder) PackBytes(d, s1, s2 VReg) *Op { return b.op3(isa.OpPACKBYTES, d, s1, s2) }
+func (b *Builder) Pack16LSB(d, s1, s2 VReg) *Op { return b.op3(isa.OpPACK16LSB, d, s1, s2) }
+func (b *Builder) Pack16MSB(d, s1, s2 VReg) *Op { return b.op3(isa.OpPACK16MSB, d, s1, s2) }
+func (b *Builder) MergeLSB(d, s1, s2 VReg) *Op  { return b.op3(isa.OpMERGELSB, d, s1, s2) }
+func (b *Builder) MergeMSB(d, s1, s2 VReg) *Op  { return b.op3(isa.OpMERGEMSB, d, s1, s2) }
+func (b *Builder) UByteSel(d, s1, s2 VReg) *Op  { return b.op3(isa.OpUBYTESEL, d, s1, s2) }
+
+func (b *Builder) FAdd(d, s1, s2 VReg) *Op { return b.op3(isa.OpFADD, d, s1, s2) }
+func (b *Builder) FSub(d, s1, s2 VReg) *Op { return b.op3(isa.OpFSUB, d, s1, s2) }
+func (b *Builder) FMul(d, s1, s2 VReg) *Op { return b.op3(isa.OpFMUL, d, s1, s2) }
+func (b *Builder) FDiv(d, s1, s2 VReg) *Op { return b.op3(isa.OpFDIV, d, s1, s2) }
+func (b *Builder) IFloat(d, s VReg) *Op    { return b.op2(isa.OpIFLOAT, d, s) }
+func (b *Builder) IFix(d, s VReg) *Op      { return b.op2(isa.OpIFIXIEEE, d, s) }
+
+// Loads. Displacement forms take a signed byte offset.
+func (b *Builder) Ld32D(d, base VReg, off int32) *Op {
+	return b.op2i(isa.OpLD32D, d, base, uint32(off))
+}
+func (b *Builder) Ld16D(d, base VReg, off int32) *Op {
+	return b.op2i(isa.OpLD16D, d, base, uint32(off))
+}
+func (b *Builder) ULd16D(d, base VReg, off int32) *Op {
+	return b.op2i(isa.OpULD16D, d, base, uint32(off))
+}
+func (b *Builder) Ld8D(d, base VReg, off int32) *Op {
+	return b.op2i(isa.OpLD8D, d, base, uint32(off))
+}
+func (b *Builder) ULd8D(d, base VReg, off int32) *Op {
+	return b.op2i(isa.OpULD8D, d, base, uint32(off))
+}
+func (b *Builder) Ld32R(d, base, idx VReg) *Op  { return b.op3(isa.OpLD32R, d, base, idx) }
+func (b *Builder) ULd8R(d, base, idx VReg) *Op  { return b.op3(isa.OpULD8R, d, base, idx) }
+func (b *Builder) ULd16R(d, base, idx VReg) *Op { return b.op3(isa.OpULD16R, d, base, idx) }
+
+// Stores: value val to base+off.
+func (b *Builder) St32D(base VReg, off int32, val VReg) *Op {
+	return b.Emit(Op{Opcode: isa.OpST32D, Src: [4]VReg{base, val}, Imm: uint32(off)})
+}
+func (b *Builder) St16D(base VReg, off int32, val VReg) *Op {
+	return b.Emit(Op{Opcode: isa.OpST16D, Src: [4]VReg{base, val}, Imm: uint32(off)})
+}
+func (b *Builder) St8D(base VReg, off int32, val VReg) *Op {
+	return b.Emit(Op{Opcode: isa.OpST8D, Src: [4]VReg{base, val}, Imm: uint32(off)})
+}
+func (b *Builder) AllocD(base VReg, off int32) *Op {
+	return b.Emit(Op{Opcode: isa.OpALLOCD, Src: [4]VReg{base}, Imm: uint32(off)})
+}
+
+// LdFrac8 is the collapsed load with interpolation.
+func (b *Builder) LdFrac8(d, addr, frac VReg) *Op {
+	return b.op3(isa.OpLDFRAC8, d, addr, frac)
+}
+
+// Two-slot operations.
+func (b *Builder) SuperDualIMix(d1, d2, s1, s2, s3, s4 VReg) *Op {
+	return b.Emit(Op{Opcode: isa.OpSUPERDUALIMIX, Src: [4]VReg{s1, s2, s3, s4}, Dest: [2]VReg{d1, d2}})
+}
+func (b *Builder) SuperLd32R(d1, d2, base, idx VReg) *Op {
+	return b.Emit(Op{Opcode: isa.OpSUPERLD32R, Src: [4]VReg{base, idx}, Dest: [2]VReg{d1, d2}})
+}
+func (b *Builder) SuperCabacStr(dPos, dBit, valueRange, pos, stateMPS VReg) *Op {
+	return b.Emit(Op{Opcode: isa.OpSUPERCABACSTR, Src: [4]VReg{valueRange, pos, Zero, stateMPS}, Dest: [2]VReg{dPos, dBit}})
+}
+func (b *Builder) SuperCabacCtx(dValueRange, dStateMPS, valueRange, pos, data, stateMPS VReg) *Op {
+	return b.Emit(Op{Opcode: isa.OpSUPERCABACCTX, Src: [4]VReg{valueRange, pos, data, stateMPS}, Dest: [2]VReg{dValueRange, dStateMPS}})
+}
+func (b *Builder) SuperUME8UU(d, s1, s2, s3, s4 VReg) *Op {
+	return b.Emit(Op{Opcode: isa.OpSUPERUME8UU, Src: [4]VReg{s1, s2, s3, s4}, Dest: [2]VReg{d}})
+}
+
+// Branches.
+func (b *Builder) Jmp(label string) *Op {
+	return b.Emit(Op{Opcode: isa.OpJMPI, Target: label})
+}
+func (b *Builder) JmpT(guard VReg, label string) *Op {
+	return b.Emit(Op{Opcode: isa.OpJMPT, Guard: guard, Target: label})
+}
+func (b *Builder) JmpF(guard VReg, label string) *Op {
+	return b.Emit(Op{Opcode: isa.OpJMPF, Guard: guard, Target: label})
+}

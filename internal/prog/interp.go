@@ -1,0 +1,110 @@
+package prog
+
+import (
+	"fmt"
+
+	"tm3270/internal/isa"
+)
+
+// Interp executes a program with plain sequential semantics (no VLIW
+// packing, no delay slots, no latencies). It is the reference the
+// scheduled machine execution is differentially tested against.
+type Interp struct {
+	prog *Program
+	mem  isa.Memory
+	regs []uint32
+
+	// Ops counts executed (issued) operations, including guarded-off
+	// ones; Steps counts only operations whose guard allowed execution.
+	Ops   int64
+	Steps int64
+	// MaxOps aborts runaway programs; 0 means no limit.
+	MaxOps int64
+}
+
+// NewInterp prepares an interpreter over the given memory image.
+func NewInterp(p *Program, m isa.Memory) *Interp {
+	regs := make([]uint32, p.NumVRegs)
+	regs[One] = 1
+	return &Interp{prog: p, mem: m, regs: regs}
+}
+
+// Reg returns the current value of a virtual register.
+func (in *Interp) Reg(v VReg) uint32 {
+	if v == Zero {
+		return 0
+	}
+	if v == One {
+		return 1
+	}
+	return in.regs[v]
+}
+
+// SetReg initializes a virtual register (kernel arguments).
+func (in *Interp) SetReg(v VReg, val uint32) {
+	if !v.Pinned() {
+		in.regs[v] = val
+	}
+}
+
+// Run executes the program from its first block until control falls off
+// the end.
+func (in *Interp) Run() error {
+	bi := 0
+	for bi < len(in.prog.Blocks) {
+		blk := in.prog.Blocks[bi]
+		jumped := false
+		for i := range blk.Ops {
+			op := &blk.Ops[i]
+			in.Ops++
+			if in.MaxOps > 0 && in.Ops > in.MaxOps {
+				return fmt.Errorf("prog %s: exceeded %d operations", in.prog.Name, in.MaxOps)
+			}
+			taken, err := in.exec(op)
+			if err != nil {
+				return err
+			}
+			if taken {
+				ti, ok := in.prog.BlockIndex(op.Target)
+				if !ok {
+					return fmt.Errorf("prog %s: jump to unknown label %q", in.prog.Name, op.Target)
+				}
+				bi = ti
+				jumped = true
+				break
+			}
+		}
+		if !jumped {
+			bi++
+		}
+	}
+	return nil
+}
+
+// exec runs a single operation, honoring its guard, and reports whether
+// a branch was taken.
+func (in *Interp) exec(op *Op) (bool, error) {
+	info := op.Info()
+	g := in.Reg(op.Guard)&1 == 1
+	if info.GuardInverted {
+		g = !g
+	}
+	if !g {
+		return false, nil
+	}
+	in.Steps++
+	if op.Opcode == isa.OpNOP {
+		return false, nil
+	}
+	var ctx isa.ExecContext
+	ctx.Imm = op.Imm
+	ctx.Mem = in.mem
+	for i := 0; i < info.NSrc; i++ {
+		ctx.Src[i] = in.Reg(op.Src[i])
+	}
+	info.Exec(&ctx)
+	for i := 0; i < info.NDest; i++ {
+		in.SetReg(op.Dest[i], ctx.Dest[i])
+	}
+	return ctx.Taken, nil
+}

@@ -1,0 +1,195 @@
+// Package prog defines the program intermediate representation the
+// kernels are written in: guarded TM3270 operations over virtual
+// registers, grouped into basic blocks with labeled control flow. It
+// provides a builder DSL, a validator, and a sequential reference
+// interpreter used for differential testing of the scheduled machine
+// code (the scheduler, register allocator and processor model must
+// preserve exactly the semantics this interpreter defines).
+package prog
+
+import (
+	"fmt"
+
+	"tm3270/internal/isa"
+)
+
+// VReg is a virtual register. Two values are pinned: Zero maps to the
+// hardwired r0 (reads 0) and One maps to r1 (reads 1, the default guard).
+type VReg int32
+
+const (
+	// Zero always reads 0.
+	Zero VReg = 0
+	// One always reads 1; the default guard of unguarded operations.
+	One VReg = 1
+)
+
+// Pinned reports whether v is one of the two hardwired registers.
+func (v VReg) Pinned() bool { return v == Zero || v == One }
+
+func (v VReg) String() string { return fmt.Sprintf("v%d", int32(v)) }
+
+// Op is one guarded operation.
+type Op struct {
+	Opcode isa.Opcode
+	Guard  VReg
+	Src    [4]VReg
+	Dest   [2]VReg
+	Imm    uint32
+	Target string // jump target label, for branch operations
+
+	// MemGroup is an alias hint for the scheduler: memory operations in
+	// different non-zero groups are guaranteed by the kernel writer to
+	// touch disjoint memory (e.g. source and destination buffers).
+	// Group 0 means "unknown, may alias anything".
+	MemGroup int8
+}
+
+// Info returns the static description of the operation.
+func (o *Op) Info() *isa.OpInfo { return isa.Info(o.Opcode) }
+
+func (o *Op) String() string {
+	info := o.Info()
+	s := ""
+	if o.Guard != One {
+		s += fmt.Sprintf("if %v ", o.Guard)
+	}
+	s += info.Name
+	for i := 0; i < info.NSrc; i++ {
+		s += fmt.Sprintf(" %v", o.Src[i])
+	}
+	if info.HasImm {
+		if info.IsJump {
+			s += " " + o.Target
+		} else {
+			s += fmt.Sprintf(" #%d", int32(o.Imm))
+		}
+	}
+	if info.NDest > 0 {
+		s += " ->"
+		for i := 0; i < info.NDest; i++ {
+			s += fmt.Sprintf(" %v", o.Dest[i])
+		}
+	}
+	return s
+}
+
+// Block is a basic block: straight-line operations with at most one
+// branch, which is always the last operation when present.
+type Block struct {
+	Label string
+	Ops   []Op
+}
+
+// Jump returns the block's branch operation, or nil for a pure
+// fallthrough block.
+func (b *Block) Jump() *Op {
+	if n := len(b.Ops); n > 0 && b.Ops[n-1].Info().IsJump {
+		return &b.Ops[n-1]
+	}
+	return nil
+}
+
+// Body returns the operations excluding a trailing branch.
+func (b *Block) Body() []Op {
+	if b.Jump() != nil {
+		return b.Ops[:len(b.Ops)-1]
+	}
+	return b.Ops
+}
+
+// Program is a complete kernel.
+type Program struct {
+	Name   string
+	Blocks []*Block
+	// NumVRegs is one past the highest virtual register in use.
+	NumVRegs int
+}
+
+// BlockIndex returns the index of the block with the given label.
+func (p *Program) BlockIndex(label string) (int, bool) {
+	for i, b := range p.Blocks {
+		if b.Label == label {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// NumOps returns the total operation count.
+func (p *Program) NumOps() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Ops)
+	}
+	return n
+}
+
+// String renders the program as readable pseudo-assembly.
+func (p *Program) String() string {
+	s := "program " + p.Name + "\n"
+	for _, b := range p.Blocks {
+		if b.Label != "" {
+			s += b.Label + ":\n"
+		}
+		for i := range b.Ops {
+			s += "\t" + b.Ops[i].String() + "\n"
+		}
+	}
+	return s
+}
+
+// Validate checks structural well-formedness: operand counts match the
+// ISA, registers are in range, branch targets resolve, no writes to the
+// pinned registers, and branches only terminate blocks.
+func (p *Program) Validate() error {
+	labels := map[string]bool{}
+	for _, b := range p.Blocks {
+		if b.Label != "" {
+			if labels[b.Label] {
+				return fmt.Errorf("%s: duplicate label %q", p.Name, b.Label)
+			}
+			labels[b.Label] = true
+		}
+	}
+	check := func(v VReg, what string, op *Op) error {
+		if v < 0 || int(v) >= p.NumVRegs {
+			return fmt.Errorf("%s: %v: %s register %v out of range", p.Name, op, what, v)
+		}
+		return nil
+	}
+	for _, b := range p.Blocks {
+		for i := range b.Ops {
+			op := &b.Ops[i]
+			info := op.Info()
+			if err := check(op.Guard, "guard", op); err != nil {
+				return err
+			}
+			for s := 0; s < info.NSrc; s++ {
+				if err := check(op.Src[s], "source", op); err != nil {
+					return err
+				}
+			}
+			for d := 0; d < info.NDest; d++ {
+				if err := check(op.Dest[d], "destination", op); err != nil {
+					return err
+				}
+				if op.Dest[d].Pinned() {
+					return fmt.Errorf("%s: %v: writes pinned register", p.Name, op)
+				}
+			}
+			if info.NDest == 2 && op.Dest[0] == op.Dest[1] {
+				return fmt.Errorf("%s: %v: two-slot operation writes the same register twice", p.Name, op)
+			}
+			if info.IsJump {
+				if i != len(b.Ops)-1 {
+					return fmt.Errorf("%s: block %q: branch %v not at block end", p.Name, b.Label, op)
+				}
+				if !labels[op.Target] {
+					return fmt.Errorf("%s: %v: undefined label %q", p.Name, op, op.Target)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package prog_test
+
+import (
+	"strings"
+	"testing"
+
+	"tm3270/internal/isa"
+	"tm3270/internal/mem"
+	"tm3270/internal/prog"
+)
+
+// sumKernel builds: sum the n 32-bit words at base into v.
+func sumKernel() (*prog.Program, prog.VReg, prog.VReg, prog.VReg) {
+	b := prog.NewBuilder("sum")
+	base, n, sum := b.Reg(), b.Reg(), b.Reg()
+	i, v, cond, off := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.Imm(sum, 0)
+	b.Imm(i, 0)
+	b.Label("loop")
+	b.AslI(off, i, 2)
+	b.Ld32R(v, base, off)
+	b.Add(sum, sum, v)
+	b.AddI(i, i, 1)
+	b.Les(cond, i, n)
+	b.JmpT(cond, "loop")
+	return b.MustProgram(), base, n, sum
+}
+
+func TestInterpSumLoop(t *testing.T) {
+	p, base, n, sum := sumKernel()
+	m := mem.NewFunc()
+	want := uint32(0)
+	for i := 0; i < 10; i++ {
+		m.Store(0x1000+uint32(4*i), 4, uint64(i*i))
+		want += uint32(i * i)
+	}
+	in := prog.NewInterp(p, m)
+	in.SetReg(base, 0x1000)
+	in.SetReg(n, 10)
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Reg(sum); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+	if in.Steps == 0 || in.Ops < in.Steps {
+		t.Errorf("op accounting broken: ops=%d steps=%d", in.Ops, in.Steps)
+	}
+}
+
+func TestGuardedExecution(t *testing.T) {
+	b := prog.NewBuilder("guards")
+	g0, g1, a, c, d := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.Imm(g0, 0)
+	b.Imm(g1, 1)
+	b.Imm(a, 100)
+	b.Imm(c, 0)
+	b.Imm(d, 0)
+	b.AddI(c, a, 1).WithGuard(g1) // executes
+	b.AddI(d, a, 1).WithGuard(g0) // suppressed
+	p := b.MustProgram()
+
+	in := prog.NewInterp(p, mem.NewFunc())
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Reg(c) != 101 {
+		t.Errorf("guarded-true op: c = %d, want 101", in.Reg(c))
+	}
+	if in.Reg(d) != 0 {
+		t.Errorf("guarded-false op executed: d = %d, want 0", in.Reg(d))
+	}
+	// Guard uses only the LSB.
+	b2 := prog.NewBuilder("lsb")
+	g, e := b2.Reg(), b2.Reg()
+	b2.Imm(g, 2) // LSB is 0: false
+	b2.Imm(e, 0)
+	b2.AddI(e, prog.One, 41).WithGuard(g)
+	p2 := b2.MustProgram()
+	in2 := prog.NewInterp(p2, mem.NewFunc())
+	if err := in2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if in2.Reg(e) != 0 {
+		t.Errorf("guard LSB ignored: e = %d", in2.Reg(e))
+	}
+}
+
+func TestJmpF(t *testing.T) {
+	// jmpf jumps when the guard is false.
+	b := prog.NewBuilder("jmpf")
+	g, r := b.Reg(), b.Reg()
+	b.Imm(g, 0)
+	b.Imm(r, 1)
+	b.JmpF(g, "skip")
+	b.Imm(r, 2) // must be skipped
+	b.Label("skip")
+	p := b.MustProgram()
+	in := prog.NewInterp(p, mem.NewFunc())
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Reg(r) != 1 {
+		t.Errorf("r = %d, want 1 (jmpf must jump on false guard)", in.Reg(r))
+	}
+}
+
+func TestBuilderSplitsBlocksAtBranches(t *testing.T) {
+	b := prog.NewBuilder("split")
+	x := b.Reg()
+	b.Imm(x, 1)
+	b.Jmp("end")
+	b.Imm(x, 2) // unreachable, in its own anonymous block
+	b.Label("end")
+	p := b.MustProgram()
+	if len(p.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3: %s", len(p.Blocks), p)
+	}
+	if p.Blocks[0].Jump() == nil {
+		t.Error("first block should end in a jump")
+	}
+	if p.Blocks[1].Jump() != nil {
+		t.Error("second block has no jump")
+	}
+	if len(p.Blocks[0].Body()) != 1 {
+		t.Errorf("body ops = %d, want 1", len(p.Blocks[0].Body()))
+	}
+}
+
+func TestValidateRejectsUndefinedLabel(t *testing.T) {
+	b := prog.NewBuilder("bad")
+	b.Jmp("nowhere")
+	if _, err := b.Program(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("expected undefined-label error, got %v", err)
+	}
+}
+
+func TestValidateRejectsPinnedWrite(t *testing.T) {
+	b := prog.NewBuilder("pinned")
+	b.Add(prog.Zero, prog.One, prog.One)
+	if _, err := b.Program(); err == nil || !strings.Contains(err.Error(), "pinned") {
+		t.Errorf("expected pinned-write error, got %v", err)
+	}
+}
+
+func TestValidateRejectsOutOfRangeReg(t *testing.T) {
+	b := prog.NewBuilder("range")
+	d := b.Reg()
+	b.Emit(prog.Op{Opcode: isa.OpIADD, Src: [4]prog.VReg{9999, prog.One}, Dest: [2]prog.VReg{d}})
+	if _, err := b.Program(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("expected out-of-range error, got %v", err)
+	}
+}
+
+func TestMaxOpsAbortsRunaway(t *testing.T) {
+	b := prog.NewBuilder("forever")
+	b.Label("loop")
+	b.Nop()
+	b.Jmp("loop")
+	p := b.MustProgram()
+	in := prog.NewInterp(p, mem.NewFunc())
+	in.MaxOps = 1000
+	if err := in.Run(); err == nil {
+		t.Error("runaway loop not detected")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p, _, _, _ := sumKernel()
+	s := p.String()
+	for _, want := range []string{"program sum", "loop:", "ld32r", "jmpt", "iadd"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStoreLoadThroughMemory(t *testing.T) {
+	b := prog.NewBuilder("mem")
+	addr, v, back := b.Reg(), b.Reg(), b.Reg()
+	b.Imm(addr, 0x5000)
+	b.Imm(v, 0xdeadbeef)
+	b.St32D(addr, 4, v)
+	b.Ld32D(back, addr, 4)
+	b.St16D(addr, 8, back)
+	b.St8D(addr, 10, back)
+	p := b.MustProgram()
+	m := mem.NewFunc()
+	in := prog.NewInterp(p, m)
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Reg(back); got != 0xdeadbeef {
+		t.Errorf("load back = %#x", got)
+	}
+	if got := m.Load(0x5008, 2); got != 0xbeef {
+		t.Errorf("st16d wrote %#x", got)
+	}
+	if got := m.Load(0x500a, 1); got != 0xef {
+		t.Errorf("st8d wrote %#x", got)
+	}
+}
+
+func TestValidateRejectsDuplicateDests(t *testing.T) {
+	b := prog.NewBuilder("dup")
+	d, s := b.Reg(), b.Reg()
+	b.SuperDualIMix(d, d, s, s, s, s)
+	if _, err := b.Program(); err == nil || !strings.Contains(err.Error(), "same register twice") {
+		t.Errorf("duplicate two-slot destinations accepted: %v", err)
+	}
+}

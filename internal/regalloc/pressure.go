@@ -1,0 +1,110 @@
+package regalloc
+
+import (
+	"tm3270/internal/prog"
+)
+
+// Pressure computes the maximum number of simultaneously live virtual
+// registers in a program (the two hardwired registers excluded) via
+// classic backward liveness dataflow over the control-flow graph.
+//
+// This is the quantity the TM3270's 128-entry unified register file is
+// sized for: Section 1 argues media kernels keep their whole working
+// set in registers, avoiding spill loads and stores. The test suite
+// asserts every evaluation kernel stays below the hardware limit.
+func Pressure(p *prog.Program) int {
+	n := len(p.Blocks)
+	succ := make([][]int, n)
+	for i, b := range p.Blocks {
+		// Conservative CFG: every block may fall through (even an
+		// unconditional jump is guarded), plus its branch target.
+		if i+1 < n {
+			succ[i] = append(succ[i], i+1)
+		}
+		if j := b.Jump(); j != nil {
+			if ti, ok := p.BlockIndex(j.Target); ok {
+				succ[i] = append(succ[i], ti)
+			}
+		}
+	}
+
+	liveIn := make([]map[prog.VReg]bool, n)
+	liveOut := make([]map[prog.VReg]bool, n)
+	for i := range liveIn {
+		liveIn[i] = map[prog.VReg]bool{}
+		liveOut[i] = map[prog.VReg]bool{}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			out := map[prog.VReg]bool{}
+			for _, s := range succ[i] {
+				for v := range liveIn[s] {
+					out[v] = true
+				}
+			}
+			in := blockLiveIn(p.Blocks[i], out)
+			if len(out) != len(liveOut[i]) || len(in) != len(liveIn[i]) {
+				changed = true
+			}
+			liveOut[i], liveIn[i] = out, in
+		}
+	}
+
+	// Second pass: walk each block backwards tracking the live set size.
+	max := 0
+	for i, b := range p.Blocks {
+		live := copySet(liveOut[i])
+		if len(live) > max {
+			max = len(live)
+		}
+		for k := len(b.Ops) - 1; k >= 0; k-- {
+			stepLiveness(&b.Ops[k], live)
+			if len(live) > max {
+				max = len(live)
+			}
+		}
+	}
+	return max
+}
+
+// blockLiveIn computes the live-in set of a block given its live-out.
+func blockLiveIn(b *prog.Block, out map[prog.VReg]bool) map[prog.VReg]bool {
+	live := copySet(out)
+	for k := len(b.Ops) - 1; k >= 0; k-- {
+		stepLiveness(&b.Ops[k], live)
+	}
+	return live
+}
+
+// stepLiveness updates the live set across one operation, backwards:
+// unguarded definitions kill, then uses (sources and the guard) gen.
+// A guarded definition merges with the previous value and therefore
+// does not kill.
+func stepLiveness(op *prog.Op, live map[prog.VReg]bool) {
+	info := op.Info()
+	if op.Guard == prog.One {
+		for d := 0; d < info.NDest; d++ {
+			delete(live, op.Dest[d])
+		}
+	}
+	add := func(v prog.VReg) {
+		if !v.Pinned() {
+			live[v] = true
+		}
+	}
+	add(op.Guard)
+	for s := 0; s < info.NSrc; s++ {
+		add(op.Src[s])
+	}
+}
+
+func copySet(s map[prog.VReg]bool) map[prog.VReg]bool {
+	c := make(map[prog.VReg]bool, len(s))
+	for v := range s {
+		c[v] = true
+	}
+	return c
+}

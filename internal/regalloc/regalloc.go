@@ -1,0 +1,50 @@
+// Package regalloc assigns the virtual registers of a kernel to the 128
+// physical registers of the unified register file.
+//
+// The TM3270's register file is large precisely so that media kernels
+// keep their whole working set in registers without spilling (Section 1
+// of the paper). The allocator exploits that: every live virtual
+// register gets its own physical register, densely packed above the two
+// hardwired registers. Allocation fails — loudly, never by silent
+// spilling — if a kernel exceeds the 126 assignable registers, which is
+// the same discipline the TriMedia compiler's register pressure model
+// enforces on hand-tuned kernels.
+package regalloc
+
+import (
+	"fmt"
+
+	"tm3270/internal/isa"
+	"tm3270/internal/prog"
+)
+
+// Map is an allocation of virtual to physical registers.
+type Map struct {
+	// Phys[v] is the physical register of virtual register v. Entries
+	// for never-used virtual registers are valid but arbitrary.
+	Phys []isa.Reg
+	// Used is the number of distinct physical registers assigned,
+	// including the two hardwired ones.
+	Used int
+}
+
+// Reg returns the physical register of v.
+func (m *Map) Reg(v prog.VReg) isa.Reg { return m.Phys[v] }
+
+// Allocate assigns a physical register to every virtual register of the
+// program. Unused virtual registers receive one too, so that kernel
+// argument registers set before the first instruction always have a
+// physical home.
+func Allocate(p *prog.Program) (*Map, error) {
+	if p.NumVRegs > isa.NumRegs {
+		return nil, fmt.Errorf("regalloc %s: register pressure exceeds the %d-entry register file (%d virtual registers)",
+			p.Name, isa.NumRegs, p.NumVRegs)
+	}
+	m := &Map{Phys: make([]isa.Reg, p.NumVRegs), Used: p.NumVRegs}
+	m.Phys[prog.Zero] = isa.R0
+	m.Phys[prog.One] = isa.R1
+	for v := prog.VReg(2); int(v) < p.NumVRegs; v++ {
+		m.Phys[v] = isa.Reg(v)
+	}
+	return m, nil
+}

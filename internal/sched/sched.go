@@ -1,0 +1,437 @@
+// Package sched implements the VLIW scheduler: it packs the guarded
+// operations of a kernel into five-slot VLIW instructions for a specific
+// target configuration, honoring issue-slot constraints, functional-unit
+// placement, exposed operation latencies, the target's jump delay slots
+// and its load-issue restrictions.
+//
+// The TM3270 pipeline has no interlocks apart from memory stalls: the
+// schedule itself is the correctness guarantee, exactly as for the
+// production TriMedia compiler that this package stands in for.
+// "Re-compiling" a kernel for the TM3260 versus the TM3270 is a call to
+// Schedule with a different target.
+package sched
+
+import (
+	"fmt"
+
+	"tm3270/internal/config"
+	"tm3270/internal/isa"
+	"tm3270/internal/prog"
+)
+
+// SlotOp is the occupant of one issue slot.
+type SlotOp struct {
+	Op *prog.Op // nil when the slot is empty
+	// Second marks the second slot of a two-slot operation; Op then
+	// points at the same operation as the preceding slot.
+	Second bool
+}
+
+// Instr is one VLIW instruction. Slots[0] is issue slot 1.
+type Instr struct {
+	Slots [5]SlotOp
+}
+
+// Empty reports whether the instruction carries no operations.
+func (in *Instr) Empty() bool {
+	for _, s := range in.Slots {
+		if s.Op != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// OpCount returns the number of operations in the instruction (a
+// two-slot operation counts once).
+func (in *Instr) OpCount() int {
+	n := 0
+	for _, s := range in.Slots {
+		if s.Op != nil && !s.Second {
+			n++
+		}
+	}
+	return n
+}
+
+// Code is a scheduled kernel.
+type Code struct {
+	Name   string
+	Target config.Target
+	Instrs []Instr
+	// Labels maps branch labels to instruction indices.
+	Labels map[string]int
+	// BlockStart[i] is the first instruction index of source block i.
+	BlockStart []int
+
+	// SrcOps is the number of source operations scheduled (excluding
+	// padding); PadInstrs counts fully-empty padding instructions.
+	SrcOps    int
+	PadInstrs int
+}
+
+// OpsPerInstr returns the achieved operation density (OPI upper bound).
+func (c *Code) OpsPerInstr() float64 {
+	if len(c.Instrs) == 0 {
+		return 0
+	}
+	return float64(c.SrcOps) / float64(len(c.Instrs))
+}
+
+// Schedule compiles p for the target. It returns an error if the kernel
+// uses operations the target does not implement.
+func Schedule(p *prog.Program, t config.Target) (*Code, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("sched %s: %w", p.Name, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	c := &Code{Name: p.Name, Target: t, Labels: make(map[string]int)}
+	for _, b := range p.Blocks {
+		start := len(c.Instrs)
+		c.BlockStart = append(c.BlockStart, start)
+		if b.Label != "" {
+			c.Labels[b.Label] = start
+		}
+		if err := scheduleBlock(c, b, &t); err != nil {
+			return nil, fmt.Errorf("sched %s: block %q: %w", p.Name, b.Label, err)
+		}
+	}
+	for i := range c.Instrs {
+		if c.Instrs[i].Empty() {
+			c.PadInstrs++
+		}
+	}
+	return c, nil
+}
+
+// slotsFor returns the issue slots op may use on the target (the first
+// slot of the pair for two-slot operations).
+func slotsFor(op *prog.Op, t *config.Target) isa.SlotMask {
+	info := op.Info()
+	if info.Class == isa.UnitLoad {
+		return t.LoadSlots
+	}
+	return isa.DefaultSlots(info.Class)
+}
+
+// dep is one scheduling dependence: successor must issue at least
+// weight cycles after the predecessor.
+type dep struct {
+	pred   int
+	weight int
+}
+
+func scheduleBlock(c *Code, b *prog.Block, t *config.Target) error {
+	body := b.Body()
+	jump := b.Jump()
+
+	for i := range body {
+		if !t.Supports(body[i].Opcode) {
+			return fmt.Errorf("operation %s not implemented by target %s",
+				body[i].Info().Name, t.Name)
+		}
+	}
+
+	deps := buildDeps(body, t)
+
+	lat := func(i int) int { return t.OpLatency(body[i].Opcode) }
+
+	// Priority: longest path to any sink, including own latency.
+	prio := make([]int, len(body))
+	succ := make([][]dep, len(body))
+	for i := range body {
+		for _, d := range deps[i] {
+			succ[d.pred] = append(succ[d.pred], dep{pred: i, weight: d.weight})
+		}
+	}
+	for i := len(body) - 1; i >= 0; i-- {
+		prio[i] = lat(i)
+		for _, s := range succ[i] {
+			if v := s.weight + prio[s.pred]; v > prio[i] {
+				prio[i] = v
+			}
+		}
+	}
+
+	issue := make([]int, len(body))
+	for i := range issue {
+		issue[i] = -1
+	}
+	var instrs []Instr
+	ensure := func(n int) {
+		for len(instrs) < n {
+			instrs = append(instrs, Instr{})
+		}
+	}
+
+	remaining := len(body)
+	for cycle := 0; remaining > 0; cycle++ {
+		if cycle > 64*len(body)+1024 {
+			return fmt.Errorf("scheduler did not converge")
+		}
+		ensure(cycle + 1)
+		// Candidate ops ready this cycle, highest priority first.
+		var ready []int
+		for i := range body {
+			if issue[i] >= 0 {
+				continue
+			}
+			ok := true
+			earliest := 0
+			for _, d := range deps[i] {
+				if issue[d.pred] < 0 {
+					ok = false
+					break
+				}
+				if e := issue[d.pred] + d.weight; e > earliest {
+					earliest = e
+				}
+			}
+			if ok && earliest <= cycle {
+				ready = append(ready, i)
+			}
+		}
+		sortByPriority(ready, prio)
+		for _, i := range ready {
+			if place(&instrs[cycle], &body[i], t) {
+				issue[i] = cycle
+				remaining--
+			}
+		}
+	}
+
+	// Drain: every result must be committed by the end of the block so
+	// that successor blocks (on either path) observe it. The exposed
+	// pipeline has no interlocks; this is the compiler's contract.
+	drain := 0
+	lastIssue := -1
+	for i := range body {
+		if e := issue[i] + lat(i); e > drain {
+			drain = e
+		}
+		if issue[i] > lastIssue {
+			lastIssue = issue[i]
+		}
+	}
+
+	blockLen := len(instrs)
+	if blockLen < drain {
+		blockLen = drain
+	}
+
+	if jump != nil {
+		if !t.Supports(jump.Opcode) {
+			return fmt.Errorf("jump op %s unsupported", jump.Info().Name)
+		}
+		d := t.JumpDelaySlots
+		// Guard readiness (RAW on the guard register).
+		guardReady := 0
+		for i := range body {
+			info := body[i].Info()
+			for k := 0; k < info.NDest; k++ {
+				if body[i].Dest[k] == jump.Guard {
+					if e := issue[i] + lat(i); e > guardReady {
+						guardReady = e
+					}
+				}
+			}
+		}
+		jc := guardReady
+		if v := lastIssue - d; v > jc {
+			jc = v
+		}
+		if v := drain - d - 1; v > jc {
+			jc = v
+		}
+		// Find a free branch-unit slot (2, 3 or 4) at or after jc.
+		for {
+			ensure(jc + 1)
+			if s := freeSlot(&instrs[jc], isa.DefaultSlots(isa.UnitBranch)); s >= 0 {
+				instrs[jc].Slots[s] = SlotOp{Op: jump}
+				break
+			}
+			jc++
+		}
+		// The block ends exactly one instruction after the last delay
+		// slot; jc was chosen so that this covers both the drain
+		// requirement and every scheduled operation.
+		blockLen = jc + d + 1
+	}
+
+	ensureLen := func(n int) {
+		for len(instrs) < n {
+			instrs = append(instrs, Instr{})
+		}
+	}
+	ensureLen(blockLen)
+	instrs = instrs[:blockLen]
+
+	c.Instrs = append(c.Instrs, instrs...)
+	c.SrcOps += len(b.Ops)
+	return nil
+}
+
+// buildDeps constructs the dependence edges of a block body.
+func buildDeps(body []prog.Op, t *config.Target) [][]dep {
+	deps := make([][]dep, len(body))
+	lastDef := map[prog.VReg]int{}
+	usesSinceDef := map[prog.VReg][]int{}
+	var loads, stores []int
+
+	lat := func(i int) int { return t.OpLatency(body[i].Opcode) }
+	add := func(succ, pred, weight int) {
+		if succ == pred {
+			return // self-edges (rejected by Validate) must never deadlock
+		}
+		deps[succ] = append(deps[succ], dep{pred: pred, weight: weight})
+	}
+
+	for i := range body {
+		op := &body[i]
+		info := op.Info()
+
+		reads := make([]prog.VReg, 0, 5)
+		reads = append(reads, op.Guard)
+		for s := 0; s < info.NSrc; s++ {
+			reads = append(reads, op.Src[s])
+		}
+		for _, r := range reads {
+			if r.Pinned() {
+				continue
+			}
+			if d, ok := lastDef[r]; ok {
+				add(i, d, lat(d)) // RAW
+			}
+			usesSinceDef[r] = append(usesSinceDef[r], i)
+		}
+		for k := 0; k < info.NDest; k++ {
+			d := op.Dest[k]
+			if pd, ok := lastDef[d]; ok {
+				w := lat(pd) - lat(i) + 1 // WAW: later def must commit later
+				if w < 1 {
+					w = 1
+				}
+				add(i, pd, w)
+			}
+			for _, u := range usesSinceDef[d] {
+				if u != i {
+					add(i, u, 0) // WAR: read at issue, write commits later
+				}
+			}
+			// A guarded definition merges with the previous value, so it
+			// also counts as a use for subsequent writers.
+			lastDef[d] = i
+			if op.Guard != prog.One {
+				usesSinceDef[d] = []int{i}
+			} else {
+				usesSinceDef[d] = nil
+			}
+		}
+
+		switch {
+		case info.IsLoad:
+			for _, s := range stores {
+				if mayAlias(op, &body[s]) {
+					add(i, s, 1) // memory RAW
+				}
+			}
+			loads = append(loads, i)
+		case info.IsStore:
+			for _, l := range loads {
+				if mayAlias(op, &body[l]) {
+					add(i, l, 0) // memory WAR
+				}
+			}
+			for _, s := range stores {
+				if mayAlias(op, &body[s]) {
+					add(i, s, 1) // memory WAW
+				}
+			}
+			stores = append(stores, i)
+		}
+	}
+	return deps
+}
+
+// mayAlias reports whether two memory operations may touch overlapping
+// bytes. Operations in different non-zero MemGroups never alias; with
+// the same base register and displacement addressing, disjoint static
+// ranges never alias.
+func mayAlias(a, b *prog.Op) bool {
+	if a.MemGroup != 0 && b.MemGroup != 0 && a.MemGroup != b.MemGroup {
+		return false
+	}
+	ai, bi := a.Info(), b.Info()
+	// Displacement forms with a common base register.
+	if ai.HasImm && bi.HasImm && a.Src[0] == b.Src[0] {
+		alo, ahi := int64(int32(a.Imm)), int64(int32(a.Imm))+int64(ai.MemBytes)
+		blo, bhi := int64(int32(b.Imm)), int64(int32(b.Imm))+int64(bi.MemBytes)
+		return alo < bhi && blo < ahi
+	}
+	return true
+}
+
+// place tries to put op into the instruction, returning success.
+func place(in *Instr, op *prog.Op, t *config.Target) bool {
+	info := op.Info()
+	if op.Opcode == isa.OpNOP {
+		return true // NOPs occupy no slot
+	}
+	mask := slotsFor(op, t)
+	if info.TwoSlot {
+		for s := 1; s <= 4; s++ {
+			if mask.Has(s) && in.Slots[s-1].Op == nil && in.Slots[s].Op == nil {
+				in.Slots[s-1] = SlotOp{Op: op}
+				in.Slots[s] = SlotOp{Op: op, Second: true}
+				return true
+			}
+		}
+		return false
+	}
+	if info.IsLoad && countLoads(in) >= t.MaxLoadsPerInstr {
+		return false
+	}
+	if s := freeSlot(in, mask); s >= 0 {
+		in.Slots[s] = SlotOp{Op: op}
+		return true
+	}
+	return false
+}
+
+func countLoads(in *Instr) int {
+	n := 0
+	for _, s := range in.Slots {
+		if s.Op != nil && !s.Second && s.Op.Info().IsLoad {
+			n++
+		}
+	}
+	return n
+}
+
+// freeSlot returns the zero-based index of the first free slot in the
+// mask, or -1.
+func freeSlot(in *Instr, mask isa.SlotMask) int {
+	for s := 1; s <= 5; s++ {
+		if mask.Has(s) && in.Slots[s-1].Op == nil {
+			return s - 1
+		}
+	}
+	return -1
+}
+
+func sortByPriority(idx []int, prio []int) {
+	// Insertion sort: ready lists are short. Stable on index for
+	// determinism (earlier program order wins ties).
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0; j-- {
+			a, b := idx[j-1], idx[j]
+			if prio[b] > prio[a] || (prio[b] == prio[a] && b < a) {
+				idx[j-1], idx[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}

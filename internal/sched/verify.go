@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"fmt"
+
+	"tm3270/internal/prog"
+)
+
+// Verify statically checks that scheduled code honors the exposed-
+// pipeline contract the hardware relies on (the TM3270 has no register
+// interlocks): within every block, no operation reads a register whose
+// producing write has not yet committed (issue + latency), writes to
+// the same register commit in program order, and every result commits
+// by the end of its block (the drain rule that makes cross-block
+// dataflow safe on both branch outcomes).
+//
+// Verify re-derives the constraints independently of the scheduler's
+// own dependence graph, so it catches scheduler bugs that the
+// differential execution tests would only hit probabilistically.
+func Verify(c *Code) error {
+	t := &c.Target
+	for bi, start := range c.BlockStart {
+		end := len(c.Instrs)
+		if bi+1 < len(c.BlockStart) {
+			end = c.BlockStart[bi+1]
+		}
+		// commit[v] is the instruction index at which v's latest write
+		// lands. Block entry assumes everything committed (guaranteed by
+		// every predecessor's drain).
+		commit := map[prog.VReg]int{}
+		for i := start; i < end; i++ {
+			// All slots of one instruction read pre-instruction state, so
+			// check every read before applying any of the writes (a
+			// same-cycle write-after-read is legal).
+			for s := 0; s < 5; s++ {
+				so := c.Instrs[i].Slots[s]
+				if so.Op == nil || so.Second {
+					continue
+				}
+				info := so.Op.Info()
+				reads := []prog.VReg{so.Op.Guard}
+				for k := 0; k < info.NSrc; k++ {
+					reads = append(reads, so.Op.Src[k])
+				}
+				for _, v := range reads {
+					if ct, ok := commit[v]; ok && ct > i {
+						return fmt.Errorf("sched verify %s: instr %d reads %v before its write commits at %d (%s)",
+							c.Name, i, v, ct, info.Name)
+					}
+				}
+			}
+			for s := 0; s < 5; s++ {
+				so := c.Instrs[i].Slots[s]
+				if so.Op == nil || so.Second {
+					continue
+				}
+				info := so.Op.Info()
+				lat := t.OpLatency(so.Op.Opcode)
+				for k := 0; k < info.NDest; k++ {
+					d := so.Op.Dest[k]
+					nc := i + lat
+					if ct, ok := commit[d]; ok && ct >= nc {
+						return fmt.Errorf("sched verify %s: instr %d write of %v commits at %d, not after earlier commit %d (WAW)",
+							c.Name, i, d, nc, ct)
+					}
+					commit[d] = nc
+				}
+			}
+		}
+		for v, ct := range commit {
+			if ct > end {
+				return fmt.Errorf("sched verify %s: block %d: %v commits at %d after block end %d (drain rule)",
+					c.Name, bi, v, ct, end)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,360 @@
+// Package tmsim is the TM3270 processor model: it executes scheduled
+// VLIW code with exact functional semantics and cycle-level timing.
+//
+// Timing follows the TriMedia execution model: the pipeline is fully
+// exposed, so a correct schedule never interlocks — one VLIW instruction
+// issues per cycle, and all dynamic stalls come from the memory system
+// (instruction fetch, data-cache misses, bus occupancy). Register
+// results commit `latency` instructions after issue, which the
+// simulator honors literally: a schedule that violates a latency reads
+// a stale value here and is caught by the differential tests against
+// the sequential reference interpreter.
+package tmsim
+
+import (
+	"fmt"
+	"io"
+
+	"tm3270/internal/config"
+	"tm3270/internal/dcache"
+	"tm3270/internal/encode"
+	"tm3270/internal/icache"
+	"tm3270/internal/isa"
+	"tm3270/internal/mem"
+	"tm3270/internal/prefetch"
+	"tm3270/internal/prog"
+	"tm3270/internal/regalloc"
+	"tm3270/internal/sched"
+)
+
+// CodeBase is the byte address where kernels are linked.
+const CodeBase = 0x0100_0000
+
+// Stats is the execution report.
+type Stats struct {
+	Instrs   int64 // VLIW instructions issued
+	Ops      int64 // operations issued (pad NOPs excluded)
+	ExecOps  int64 // operations whose guard enabled execution
+	Cycles   int64 // total cycles including stalls
+	Jumps    int64
+	Taken    int64
+	LoadOps  int64
+	StoreOps int64
+
+	FetchStalls int64 // instruction-fetch stalls
+	DataStalls  int64 // data-side stalls (misses, in-flight fills)
+}
+
+// OPI is the effective operations per VLIW instruction.
+func (s *Stats) OPI() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return float64(s.ExecOps) / float64(s.Instrs)
+}
+
+// CPI is cycles per VLIW instruction.
+func (s *Stats) CPI() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instrs)
+}
+
+// Seconds converts cycles to wall-clock time at the target frequency.
+func (s *Stats) Seconds(t *config.Target) float64 {
+	return float64(s.Cycles) / (float64(t.FreqMHz) * 1e6)
+}
+
+// Machine is one processor instance with loaded code.
+type Machine struct {
+	Code   *sched.Code
+	RegMap *regalloc.Map
+	Enc    *encode.Encoded
+	Target config.Target
+
+	Mem *mem.Func
+	BIU *mem.BIU
+	IC  *icache.ICache
+	DC  *dcache.DCache
+	PF  *prefetch.Unit
+
+	regs isa.RegFile
+	pend []pendWrite
+
+	// MaxInstrs aborts runaway executions (0 = default limit).
+	MaxInstrs int64
+
+	// Trace, when non-nil, receives a one-line record per issued
+	// instruction for the first TraceLimit instructions (default 200):
+	// cycle, instruction index, and the operations issued.
+	Trace      io.Writer
+	TraceLimit int64
+
+	Stats Stats
+}
+
+type pendWrite struct {
+	at  int64 // issue index at which the write commits
+	reg isa.Reg
+	val uint32
+}
+
+// New schedules nothing itself: it takes scheduled code, allocates an
+// encoding at CodeBase and builds the memory system of the code's
+// target around the given memory image.
+func New(code *sched.Code, rm *regalloc.Map, image *mem.Func) (*Machine, error) {
+	enc, err := encode.Encode(code, rm, CodeBase)
+	if err != nil {
+		return nil, err
+	}
+	t := code.Target
+	m := &Machine{
+		Code:   code,
+		RegMap: rm,
+		Enc:    enc,
+		Target: t,
+		Mem:    image,
+		BIU:    mem.NewBIU(&t),
+	}
+	m.IC = icache.New(&t, m.BIU)
+	if t.HasRegionPrefetch {
+		m.PF = &prefetch.Unit{}
+	}
+	m.DC = dcache.New(&t, m.BIU, m.PF)
+	return m, nil
+}
+
+// SetReg initializes a kernel argument register.
+func (m *Machine) SetReg(v prog.VReg, val uint32) {
+	m.regs.Write(m.RegMap.Reg(v), val)
+}
+
+// Reg reads a register by virtual name (results, tests).
+func (m *Machine) Reg(v prog.VReg) uint32 { return m.regs.Read(m.RegMap.Reg(v)) }
+
+// busMem routes operation-level memory accesses either to the
+// memory-mapped prefetch configuration registers or to the memory image.
+type busMem struct {
+	f  *mem.Func
+	pf *prefetch.Unit
+}
+
+func (b busMem) Load(addr uint32, n int) uint64 {
+	if b.pf != nil && prefetch.IsMMIO(addr) && n == 4 {
+		return uint64(b.pf.LoadMMIO(addr))
+	}
+	return b.f.Load(addr, n)
+}
+
+func (b busMem) Store(addr uint32, n int, v uint64) {
+	if b.pf != nil && prefetch.IsMMIO(addr) && n == 4 {
+		b.pf.StoreMMIO(addr, uint32(v))
+		return
+	}
+	b.f.Store(addr, n, v)
+}
+
+// effAddr computes the effective address and size of a memory
+// operation given its gathered source values.
+func effAddr(op *prog.Op, src *[4]uint32) (uint32, int) {
+	info := op.Info()
+	switch op.Opcode {
+	case isa.OpLD32R, isa.OpLD16R, isa.OpULD16R, isa.OpLD8R, isa.OpULD8R,
+		isa.OpSUPERLD32R:
+		return src[0] + src[1], info.MemBytes
+	case isa.OpLDFRAC8:
+		return src[0], info.MemBytes
+	default:
+		// Displacement forms (loads, stores, allocd).
+		return src[0] + op.Imm, info.MemBytes
+	}
+}
+
+// Run executes the loaded kernel to completion.
+func (m *Machine) Run() error {
+	maxInstrs := m.MaxInstrs
+	if maxInstrs == 0 {
+		maxInstrs = 2_000_000_000
+	}
+	bus := busMem{f: m.Mem, pf: m.PF}
+	delay := int64(m.Target.JumpDelaySlots)
+
+	var (
+		cycle         int64
+		issue         int64
+		idx           int
+		redirectAfter int64 = -1
+		redirectTo    int
+	)
+
+	type slotEval struct {
+		op      *prog.Op
+		ctx     isa.ExecContext
+		execute bool
+	}
+	evals := make([]slotEval, 0, 5)
+
+	for idx < len(m.Code.Instrs) {
+		if issue >= maxInstrs {
+			return fmt.Errorf("tmsim %s: exceeded %d instructions", m.Code.Name, maxInstrs)
+		}
+		// Commit in-flight register writes due at this instruction.
+		m.commit(issue)
+
+		// Instruction fetch.
+		if st := m.IC.Fetch(cycle, m.Enc.Addr[idx], m.Enc.Size[idx]); st > 0 {
+			cycle += st
+			m.Stats.FetchStalls += st
+		}
+
+		in := &m.Code.Instrs[idx]
+
+		if m.Trace != nil {
+			limit := m.TraceLimit
+			if limit == 0 {
+				limit = 200
+			}
+			if issue < limit {
+				m.trace(cycle, issue, idx, in)
+			}
+		}
+
+		// Phase 1: gather operands against pre-instruction state.
+		evals = evals[:0]
+		for s := 0; s < 5; s++ {
+			so := in.Slots[s]
+			if so.Op == nil || so.Second {
+				continue
+			}
+			op := so.Op
+			info := op.Info()
+			m.Stats.Ops++
+			g := m.regs.Read(m.RegMap.Reg(op.Guard))&1 == 1
+			if info.GuardInverted {
+				g = !g
+			}
+			ev := slotEval{op: op, execute: g}
+			ev.ctx.Imm = op.Imm
+			ev.ctx.Mem = bus
+			for k := 0; k < info.NSrc; k++ {
+				ev.ctx.Src[k] = m.regs.Read(m.RegMap.Reg(op.Src[k]))
+			}
+			evals = append(evals, ev)
+		}
+
+		// Phase 2: execute.
+		for i := range evals {
+			ev := &evals[i]
+			if !ev.execute {
+				continue
+			}
+			m.Stats.ExecOps++
+			op := ev.op
+			info := op.Info()
+
+			if info.IsLoad || info.IsStore {
+				addr, size := effAddr(op, &ev.ctx.Src)
+				mmio := m.PF != nil && prefetch.IsMMIO(addr)
+				if info.IsLoad {
+					m.Stats.LoadOps++
+				} else {
+					m.Stats.StoreOps++
+				}
+				if !mmio {
+					kind := dcache.Load
+					switch {
+					case op.Opcode == isa.OpALLOCD:
+						kind = dcache.Alloc
+					case info.IsStore:
+						kind = dcache.Store
+					}
+					if st := m.DC.Access(cycle, addr, size, kind); st > 0 {
+						cycle += st
+						m.Stats.DataStalls += st
+					}
+				}
+			}
+
+			info.Exec(&ev.ctx)
+
+			lat := int64(m.Target.OpLatency(op.Opcode))
+			for k := 0; k < info.NDest; k++ {
+				m.pend = append(m.pend, pendWrite{
+					at:  issue + lat,
+					reg: m.RegMap.Reg(op.Dest[k]),
+					val: ev.ctx.Dest[k],
+				})
+			}
+
+			if info.IsJump {
+				m.Stats.Jumps++
+				if ev.ctx.Taken {
+					m.Stats.Taken++
+					if redirectAfter >= 0 {
+						return fmt.Errorf("tmsim %s: jump taken inside a delay window (instr %d)", m.Code.Name, idx)
+					}
+					ti, ok := m.Code.Labels[op.Target]
+					if !ok {
+						return fmt.Errorf("tmsim %s: unknown label %q", m.Code.Name, op.Target)
+					}
+					redirectAfter = issue + delay
+					redirectTo = ti
+				}
+			}
+		}
+
+		cycle++
+		m.Stats.Instrs++
+		issue++
+
+		if redirectAfter >= 0 && issue > redirectAfter {
+			idx = redirectTo
+			redirectAfter = -1
+			m.IC.Redirect()
+		} else {
+			idx++
+		}
+	}
+	// Drain in-flight writes so final register state is observable.
+	m.commit(issue + 64)
+	m.Stats.Cycles = cycle
+	return nil
+}
+
+// commit applies pending register writes due at or before the given
+// issue index, in insertion order (which is program order thanks to the
+// scheduler's WAW discipline).
+func (m *Machine) commit(issue int64) {
+	if len(m.pend) == 0 {
+		return
+	}
+	kept := m.pend[:0]
+	for _, w := range m.pend {
+		if w.at <= issue {
+			m.regs.Write(w.reg, w.val)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	m.pend = kept
+}
+
+// trace emits one instruction record.
+func (m *Machine) trace(cycle, issue int64, idx int, in *sched.Instr) {
+	fmt.Fprintf(m.Trace, "c%-8d i%-6d @%d:", cycle, issue, idx)
+	empty := true
+	for s := 0; s < 5; s++ {
+		so := in.Slots[s]
+		if so.Op == nil || so.Second {
+			continue
+		}
+		empty = false
+		info := so.Op.Info()
+		fmt.Fprintf(m.Trace, " [%d]%s", s+1, info.Name)
+	}
+	if empty {
+		fmt.Fprint(m.Trace, " (nop)")
+	}
+	fmt.Fprintln(m.Trace)
+}

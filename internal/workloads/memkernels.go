@@ -1,0 +1,96 @@
+package workloads
+
+import (
+	"tm3270/internal/mem"
+	"tm3270/internal/prog"
+)
+
+const (
+	memSrcBase = 0x0200_0000
+	memDstBase = 0x0300_0680
+)
+
+// Memset sets a memory region to a predefined value (Table 5). The
+// inner loop is unrolled to 16 word stores with two stores per
+// instruction, the idiom the TriMedia compiler produces for memset, and
+// allocates each fully-overwritten cache line with allocd first — the
+// classic TriMedia memset optimization that avoids fetching lines that
+// are about to be overwritten (the region must be line aligned, which
+// the libc entry point guarantees by scalar head/tail handling).
+func Memset(p Params) *Spec {
+	b := prog.NewBuilder("memset")
+	dst, val, cnt, cond := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.Label("loop")
+	b.AllocD(dst, 0)
+	for k := 0; k < 16; k++ {
+		b.St32D(dst, int32(4*k), val)
+	}
+	b.AddI(dst, dst, 64)
+	b.AddI(cnt, cnt, -64)
+	b.GtrI(cond, cnt, 0)
+	b.JmpT(cond, "loop")
+	pr := b.MustProgram()
+
+	bytes := p.MemKB * 1024
+	const pattern = 0x5a5a5a5a
+	return &Spec{
+		Name:        "memset",
+		Description: "sets a region to a pre-defined value",
+		Prog:        pr,
+		Args: map[prog.VReg]uint32{
+			dst: memDstBase, val: pattern, cnt: uint32(bytes),
+		},
+		Check: func(m *mem.Func) error {
+			want := make([]byte, bytes)
+			for i := range want {
+				want[i] = 0x5a
+			}
+			return checkRegion(m, memDstBase, want, "memset")
+		},
+	}
+}
+
+// Memcpy copies a memory region (Table 5). Eight loads and eight stores
+// per iteration; the load-issue width (two per instruction on the
+// TM3260, one on the TM3270) and the write-miss policy dominate its
+// behaviour — it is memory bound on every configuration (Section 6).
+func Memcpy(p Params) *Spec {
+	b := prog.NewBuilder("memcpy")
+	src, dst, cnt, cond := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	v := b.Regs(8)
+	b.Label("loop")
+	for k := 0; k < 8; k++ {
+		b.Ld32D(v[k], src, int32(4*k)).InGroup(1)
+	}
+	for k := 0; k < 8; k++ {
+		b.St32D(dst, int32(4*k), v[k]).InGroup(2)
+	}
+	b.AddI(src, src, 32)
+	b.AddI(dst, dst, 32)
+	b.AddI(cnt, cnt, -32)
+	b.GtrI(cond, cnt, 0)
+	b.JmpT(cond, "loop")
+	pr := b.MustProgram()
+
+	bytes := p.MemKB * 1024
+	return &Spec{
+		Name:        "memcpy",
+		Description: "copies a region",
+		Prog:        pr,
+		Args: map[prog.VReg]uint32{
+			src: memSrcBase, dst: memDstBase, cnt: uint32(bytes),
+		},
+		Init: func(m *mem.Func) {
+			for i := 0; i < bytes; i++ {
+				m.SetByte(memSrcBase+uint32(i), byte(i*31+7))
+			}
+		},
+		Check: func(m *mem.Func) error {
+			want := make([]byte, bytes)
+			for i := range want {
+				want[i] = byte(i*31 + 7)
+			}
+			return checkRegion(m, memDstBase, want, "memcpy")
+		},
+	}
+}

@@ -1,0 +1,200 @@
+// Package workloads implements the paper's evaluation kernels and
+// applications (Table 5) plus the CABAC decoding workloads of Table 3
+// and the TM3270-specific ablation kernels, all written in the prog
+// DSL against the TriMedia ISA, each with a pure-Go reference that
+// validates the simulated output.
+package workloads
+
+import (
+	"fmt"
+
+	"tm3270/internal/mem"
+	"tm3270/internal/prog"
+)
+
+// Spec is one runnable workload instance.
+type Spec struct {
+	Name        string
+	Description string
+	Prog        *prog.Program
+	// Init populates the memory image (inputs, tables).
+	Init func(m *mem.Func)
+	// Args are the kernel argument registers.
+	Args map[prog.VReg]uint32
+	// Check validates the outputs against the Go reference.
+	Check func(m *mem.Func) error
+	// TM3270Only marks workloads using ISA extensions that the TM3260
+	// cannot schedule (Table 3 / ablations).
+	TM3270Only bool
+}
+
+// Params scales the workloads. Full() matches the paper's evaluation
+// sizes; Small() keeps unit tests fast.
+type Params struct {
+	MemKB  int // memset/memcpy region (paper: 64 KB)
+	ImageW int // EEMBC and TV kernels (paper: standard definition)
+	ImageH int
+	FieldH int // TV kernels operate on fields (paper: 720x240)
+	Mpeg2W int
+	Mpeg2H int
+	// Mpeg2Frames chains N decoded frames, each motion compensated from
+	// the previous one (steady-state cache behaviour); 0 means 1.
+	Mpeg2Frames int
+	CabacIBits  int // Table 3 bits per field type
+	CabacPBits  int
+	CabacBBits  int
+	MP3Granules int
+}
+
+// Full returns the paper's evaluation sizes.
+func Full() Params {
+	return Params{
+		MemKB:  64,
+		ImageW: 720, ImageH: 480,
+		FieldH: 240,
+		Mpeg2W: 720, Mpeg2H: 480,
+		Mpeg2Frames: 3,
+		CabacIBits:  215408, CabacPBits: 103544, CabacBBits: 153035,
+		MP3Granules: 64,
+	}
+}
+
+// Small returns fast sizes for tests, preserving all structure.
+func Small() Params {
+	return Params{
+		MemKB:  4,
+		ImageW: 64, ImageH: 32,
+		FieldH: 16,
+		Mpeg2W: 64, Mpeg2H: 48,
+		CabacIBits: 4000, CabacPBits: 3000, CabacBBits: 2500,
+		MP3Granules: 4,
+	}
+}
+
+// Table5 returns the Figure 7 evaluation set in paper order. These
+// kernels use only the common TriMedia ISA ("optimized for the TM3260,
+// re-compiled for the TM3270 without modification").
+func Table5(p Params) []*Spec {
+	return []*Spec{
+		Memset(p),
+		Memcpy(p),
+		Filter(p),
+		RGB2YUV(p),
+		RGB2CMYK(p),
+		RGB2YIQ(p),
+		Mpeg2A(p),
+		Mpeg2B(p),
+		Mpeg2C(p),
+		FilmDet(p),
+		MajoritySel(p),
+	}
+}
+
+func checkRegion(m *mem.Func, base uint32, want []byte, what string) error {
+	for i, w := range want {
+		if got := m.ByteAt(base + uint32(i)); got != w {
+			return fmt.Errorf("%s: byte %d = %#x, want %#x", what, i, got, w)
+		}
+	}
+	return nil
+}
+
+func clip8(v int32) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+func clipS8(v int32) byte {
+	if v < -128 {
+		v = -128
+	}
+	if v > 127 {
+		v = 127
+	}
+	return byte(int8(v))
+}
+
+// pack16 packs two signed 16-bit values into the DUAL16 constant form
+// used for ifir16 coefficient pairs.
+func pack16(hi, lo int16) uint32 {
+	return uint32(uint16(hi))<<16 | uint32(uint16(lo))
+}
+
+// ByName builds a workload by its registry name. Besides the Table 5
+// set, the registry exposes the CABAC fields of Table 3, the MP3-shaped
+// power workload, the Figure 3 block walk and the motion-estimation
+// ablation variants.
+func ByName(name string, p Params) (*Spec, error) {
+	switch name {
+	case "memset":
+		return Memset(p), nil
+	case "memcpy":
+		return Memcpy(p), nil
+	case "filter":
+		return Filter(p), nil
+	case "rgb2yuv":
+		return RGB2YUV(p), nil
+	case "rgb2cmyk":
+		return RGB2CMYK(p), nil
+	case "rgb2yiq":
+		return RGB2YIQ(p), nil
+	case "mpeg2_a":
+		return Mpeg2A(p), nil
+	case "mpeg2_b":
+		return Mpeg2B(p), nil
+	case "mpeg2_c":
+		return Mpeg2C(p), nil
+	case "mpeg2_super":
+		return Mpeg2Super(p), nil
+	case "filmdet":
+		return FilmDet(p), nil
+	case "majority_sel":
+		return MajoritySel(p), nil
+	case "mp3_synth":
+		return MP3Synth(p), nil
+	case "blockwalk":
+		return BlockWalk(p, false), nil
+	case "blockwalk_pf":
+		return BlockWalk(p, true), nil
+	case "upconv":
+		return Upconv(p, false), nil
+	case "upconv_pf":
+		return Upconv(p, true), nil
+	case "cabac_ref_i":
+		return CABACRef(FieldI(p.CabacIBits)), nil
+	case "cabac_ref_p":
+		return CABACRef(FieldP(p.CabacPBits)), nil
+	case "cabac_ref_b":
+		return CABACRef(FieldB(p.CabacBBits)), nil
+	case "cabac_opt_i":
+		return CABACOpt(FieldI(p.CabacIBits)), nil
+	case "cabac_opt_p":
+		return CABACOpt(FieldP(p.CabacPBits)), nil
+	case "cabac_opt_b":
+		return CABACOpt(FieldB(p.CabacBBits)), nil
+	case "me_ref":
+		return MotionEst(MEParams{W: p.ImageW, H: p.ImageH}), nil
+	case "me_frac8":
+		return MotionEst(MEParams{W: p.ImageW, H: p.ImageH, UseFrac8: true}), nil
+	case "me_frac8_pf":
+		return MotionEst(MEParams{W: p.ImageW, H: p.ImageH, UseFrac8: true, Prefetch: true}), nil
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q (see Names)", name)
+}
+
+// Names lists every registry name.
+func Names() []string {
+	return []string{
+		"memset", "memcpy", "filter", "rgb2yuv", "rgb2cmyk", "rgb2yiq",
+		"mpeg2_a", "mpeg2_b", "mpeg2_c", "mpeg2_super", "filmdet", "majority_sel",
+		"mp3_synth", "blockwalk", "blockwalk_pf", "upconv", "upconv_pf",
+		"cabac_ref_i", "cabac_ref_p", "cabac_ref_b",
+		"cabac_opt_i", "cabac_opt_p", "cabac_opt_b",
+		"me_ref", "me_frac8", "me_frac8_pf",
+	}
+}

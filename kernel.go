@@ -1,0 +1,40 @@
+package tm3270
+
+import (
+	"tm3270/internal/prog"
+	"tm3270/internal/workloads"
+)
+
+// Builder is the kernel-construction DSL: typed emitters for every
+// TM3270 operation over virtual registers, with labels and guarded
+// execution. See examples/quickstart for usage.
+type Builder = prog.Builder
+
+// Program is a built kernel, ready to compile for a Target.
+type Program = prog.Program
+
+// VReg is a virtual register name.
+type VReg = prog.VReg
+
+// Zero and One are the hardwired registers (r0 reads 0; r1 reads 1 and
+// is the default guard).
+const (
+	Zero = prog.Zero
+	One  = prog.One
+)
+
+// NewKernel starts building a kernel program.
+func NewKernel(name string) *Builder { return prog.NewBuilder(name) }
+
+// NewWorkload wraps a built program into a runnable workload. init may
+// be nil; check may be nil to skip output validation.
+func NewWorkload(name string, p *Program, args map[VReg]uint32,
+	init func(*Memory), check func(*Memory) error) *Workload {
+	return &workloads.Spec{
+		Name:  name,
+		Prog:  p,
+		Args:  args,
+		Init:  init,
+		Check: check,
+	}
+}

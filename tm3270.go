@@ -1,0 +1,191 @@
+// Package tm3270 is a software model of the Philips TM3270 TriMedia
+// media-processor (van de Waerdt et al., "The TM3270 Media-Processor",
+// MICRO 2005): a five-issue VLIW with guarded operations, a unified
+// 128-entry register file, two-slot super operations, collapsed loads
+// with interpolation, CABAC entropy-decoding operations, a 128 KB data
+// cache with allocate-on-write-miss byte validity, and memory-region
+// hardware prefetching.
+//
+// The package compiles kernels written in the TriMedia operation DSL
+// for a chosen processor configuration (TM3270, its TM3260 predecessor,
+// or the intermediate configurations A–D of the paper's evaluation),
+// executes them on a cycle-level machine model, and reports performance,
+// cache, power and code-size statistics. The paper's entire evaluation
+// (Tables 1–6, Figures 1–7) regenerates from these pieces; see
+// cmd/tm3270bench.
+package tm3270
+
+import (
+	"fmt"
+
+	"tm3270/internal/config"
+	"tm3270/internal/encode"
+	"tm3270/internal/mem"
+	"tm3270/internal/power"
+	"tm3270/internal/prog"
+	"tm3270/internal/regalloc"
+	"tm3270/internal/sched"
+	"tm3270/internal/tmsim"
+	"tm3270/internal/workloads"
+)
+
+// Target is a processor configuration (frequency, pipeline, caches,
+// ISA-extension availability).
+type Target = config.Target
+
+// Predefined targets.
+var (
+	// TM3270 is the full processor (configuration D of Figure 7).
+	TM3270 = config.TM3270
+	// TM3260 is the predecessor (configuration A of Figure 7).
+	TM3260 = config.TM3260
+	// ConfigA..ConfigD are the Figure 7 evaluation points.
+	ConfigA = config.ConfigA
+	ConfigB = config.ConfigB
+	ConfigC = config.ConfigC
+	ConfigD = config.ConfigD
+)
+
+// Workload is a runnable kernel with inputs and a self-check.
+type Workload = workloads.Spec
+
+// Memory is the byte-addressable memory image workloads run against
+// (big-endian multi-byte accesses, as on the TM3270).
+type Memory = mem.Func
+
+// Params scales the built-in workloads; FullParams matches the paper's
+// evaluation sizes, SmallParams keeps experiments fast.
+type Params = workloads.Params
+
+// FullParams returns the paper's evaluation sizes.
+func FullParams() Params { return workloads.Full() }
+
+// SmallParams returns reduced sizes with identical structure.
+func SmallParams() Params { return workloads.Small() }
+
+// Table5 returns the Figure 7 workload set (Table 5 of the paper).
+func Table5(p Params) []*Workload { return workloads.Table5(p) }
+
+// Stats is the execution report of one run.
+type Stats = tmsim.Stats
+
+// Result is the outcome of running a workload on a target.
+type Result struct {
+	Target  Target
+	Stats   Stats
+	Machine *tmsim.Machine
+
+	// Static code properties.
+	CodeBytes   int
+	SchedInstrs int // scheduled VLIW instructions (static)
+	OPIStatic   float64
+}
+
+// Seconds returns the wall-clock time of the run at the target's
+// frequency.
+func (r *Result) Seconds() float64 { return r.Stats.Seconds(&r.Target) }
+
+// Activity extracts the power-model operating point of the run.
+func (r *Result) Activity() power.Activity {
+	s := &r.Stats
+	a := power.Activity{}
+	if s.Cycles > 0 {
+		a.Utilization = float64(s.Instrs) / float64(s.Cycles)
+		a.BusBytesPerCyc = float64(r.Machine.BIU.TotalBytes()) / float64(s.Cycles)
+	}
+	if s.Instrs > 0 {
+		a.OPI = s.OPI()
+		a.MemOpsPerInstr = float64(s.LoadOps+s.StoreOps) / float64(s.Instrs)
+	}
+	return a
+}
+
+// Compile schedules, register-allocates and encodes a program for a
+// target, returning the machine-ready code.
+func Compile(p *prog.Program, t Target) (*sched.Code, *regalloc.Map, *encode.Encoded, error) {
+	code, err := sched.Schedule(p, t)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("tm3270: schedule: %w", err)
+	}
+	if err := sched.Verify(code); err != nil {
+		return nil, nil, nil, fmt.Errorf("tm3270: %w", err)
+	}
+	rm, err := regalloc.Allocate(p)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("tm3270: %w", err)
+	}
+	enc, err := encode.Encode(code, rm, tmsim.CodeBase)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("tm3270: encode: %w", err)
+	}
+	return code, rm, enc, nil
+}
+
+// Run compiles w for t, executes it on the machine model, validates the
+// outputs against the workload's reference check and returns the
+// statistics.
+func Run(w *Workload, t Target) (*Result, error) {
+	code, rm, enc, err := Compile(w.Prog, t)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", w.Name, t.Name, err)
+	}
+	image := mem.NewFunc()
+	if w.Init != nil {
+		w.Init(image)
+	}
+	m, err := tmsim.New(code, rm, image)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", w.Name, t.Name, err)
+	}
+	for v, val := range w.Args {
+		m.SetReg(v, val)
+	}
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", w.Name, t.Name, err)
+	}
+	if w.Check != nil {
+		if err := w.Check(image); err != nil {
+			return nil, fmt.Errorf("%s on %s: output check failed: %w", w.Name, t.Name, err)
+		}
+	}
+	return &Result{
+		Target:      t,
+		Stats:       m.Stats,
+		Machine:     m,
+		CodeBytes:   enc.TotalBytes(),
+		SchedInstrs: len(code.Instrs),
+		OPIStatic:   code.OpsPerInstr(),
+	}, nil
+}
+
+// Reference executes a workload on the sequential reference interpreter
+// (no VLIW packing, no timing) and validates its outputs; used to vet a
+// new kernel independent of any schedule.
+func Reference(w *Workload) error {
+	image := mem.NewFunc()
+	if w.Init != nil {
+		w.Init(image)
+	}
+	in := prog.NewInterp(w.Prog, image)
+	in.MaxOps = 2_000_000_000
+	for v, val := range w.Args {
+		in.SetReg(v, val)
+	}
+	if err := in.Run(); err != nil {
+		return fmt.Errorf("%s (reference): %w", w.Name, err)
+	}
+	if w.Check != nil {
+		if err := w.Check(image); err != nil {
+			return fmt.Errorf("%s (reference): %w", w.Name, err)
+		}
+	}
+	return nil
+}
+
+// Area returns the Table 4 / Figure 6 area breakdown of a target.
+func Area(t Target) power.AreaReport { return power.Area(&t) }
+
+// Power evaluates the Table 4 power model at an activity point.
+func Power(a power.Activity, voltage float64) (power.PowerReport, error) {
+	return power.Power(a, voltage)
+}

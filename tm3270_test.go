@@ -1,0 +1,118 @@
+package tm3270_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tm3270"
+)
+
+// TestPublicAPIQuickstart exercises the full public surface: build a
+// kernel with the DSL, wrap it in a workload, run it on two targets and
+// inspect the statistics.
+func TestPublicAPIQuickstart(t *testing.T) {
+	b := tm3270.NewKernel("saxpy")
+	x, y, n, a := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	i, off, vx, vy, c := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.Imm(i, 0)
+	b.Label("loop")
+	b.AslI(off, i, 2)
+	b.Ld32R(vx, x, off).InGroup(1)
+	b.Ld32R(vy, y, off).InGroup(2)
+	b.Mul(vx, vx, a)
+	b.Add(vy, vy, vx)
+	b.Add(off, off, y)
+	b.St32D(off, 0, vy).InGroup(2)
+	b.AddI(i, i, 1)
+	b.Les(c, i, n)
+	b.JmpT(c, "loop")
+	p := b.MustProgram()
+
+	const N = 100
+	w := tm3270.NewWorkload("saxpy", p,
+		map[tm3270.VReg]uint32{x: 0x1000, y: 0x8000, n: N, a: 3},
+		func(m *tm3270.Memory) {
+			for k := 0; k < N; k++ {
+				m.Store(0x1000+uint32(4*k), 4, uint64(k))
+				m.Store(0x8000+uint32(4*k), 4, uint64(1000+k))
+			}
+		},
+		func(m *tm3270.Memory) error {
+			for k := 0; k < N; k++ {
+				want := uint64(1000 + k + 3*k)
+				if got := m.Load(0x8000+uint32(4*k), 4); got != want {
+					return fmt.Errorf("y[%d] = %d, want %d", k, got, want)
+				}
+			}
+			return nil
+		})
+
+	if err := tm3270.Reference(w); err != nil {
+		t.Fatal(err)
+	}
+	for _, tgt := range []tm3270.Target{tm3270.TM3270(), tm3270.TM3260()} {
+		r, err := tm3270.Run(w, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Stats.Instrs == 0 || r.Stats.CPI() < 1 {
+			t.Errorf("%s: implausible stats", tgt.Name)
+		}
+		if r.CodeBytes == 0 || r.SchedInstrs == 0 {
+			t.Errorf("%s: missing code stats", tgt.Name)
+		}
+		if r.Seconds() <= 0 {
+			t.Errorf("%s: non-positive runtime", tgt.Name)
+		}
+	}
+}
+
+// TestBuiltInWorkloads runs the published Table 5 set through the
+// public entry points.
+func TestBuiltInWorkloads(t *testing.T) {
+	p := tm3270.SmallParams()
+	set := tm3270.Table5(p)
+	if len(set) != 11 {
+		t.Fatalf("Table 5 has %d workloads, want 11", len(set))
+	}
+	for _, w := range set[:3] {
+		if _, err := tm3270.Run(w, tm3270.ConfigD()); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestPowerAndArea exercises the public power surface.
+func TestPowerAndArea(t *testing.T) {
+	area := tm3270.Area(tm3270.TM3270())
+	if total := area.Total(); total < 8.0 || total > 8.2 {
+		t.Errorf("area = %.2f mm², want ~8.08", total)
+	}
+	w := tm3270.Table5(tm3270.SmallParams())[0]
+	r, err := tm3270.Run(w, tm3270.ConfigD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := tm3270.Power(r.Activity(), 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Total() <= 0 || pr.Total() > 1.6 {
+		t.Errorf("power rating %.3f mW/MHz out of range", pr.Total())
+	}
+}
+
+// TestCompileErrorsSurface: compiling a TM3270-only kernel for the
+// TM3260 must fail loudly through the public API.
+func TestCompileErrorsSurface(t *testing.T) {
+	b := tm3270.NewKernel("frac")
+	d, addr, f := b.Reg(), b.Reg(), b.Reg()
+	b.LdFrac8(d, addr, f)
+	p := b.MustProgram()
+	if _, _, _, err := tm3270.Compile(p, tm3270.TM3260()); err == nil {
+		t.Error("TM3260 accepted a collapsed load")
+	}
+	if _, _, _, err := tm3270.Compile(p, tm3270.TM3270()); err != nil {
+		t.Errorf("TM3270 rejected a collapsed load: %v", err)
+	}
+}
