@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check build vet test race fuzz bench campaign
+
+# Tier-1 gate: vet plus the full test suite under the race detector.
+check: vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=30s ./internal/encode/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+campaign:
+	$(GO) run ./cmd/tm3270bench -faults

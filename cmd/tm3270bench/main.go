@@ -6,7 +6,7 @@
 // Usage:
 //
 //	tm3270bench [-quick] [-table1] [-table3] [-table4] [-table6]
-//	            [-figure1] [-figure3] [-figure7] [-ablation]
+//	            [-figure1] [-figure3] [-figure7] [-ablation] [-faults]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"tm3270/internal/experiments"
+	"tm3270/internal/faults"
 	"tm3270/internal/workloads"
 )
 
@@ -30,9 +31,10 @@ func main() {
 	f7 := flag.Bool("figure7", false, "relative performance A-D")
 	ab := flag.Bool("ablation", false, "motion-estimation ablation")
 	sweep := flag.Bool("sweep", false, "cache capacity x line-size design sweep")
+	fc := flag.Bool("faults", false, "seeded fault-injection campaign")
 	flag.Parse()
 
-	all := !(*t1 || *t3 || *t4 || *t6 || *f1 || *f3 || *f7 || *ab || *sweep)
+	all := !(*t1 || *t3 || *t4 || *t6 || *f1 || *f3 || *f7 || *ab || *sweep || *fc)
 	p := workloads.Full()
 	meW, meH := 352, 288
 	if *quick {
@@ -83,6 +85,18 @@ func main() {
 	}
 	if all || *sweep {
 		run("sweep", func() error { return experiments.LineSizeSweep(os.Stdout, p) })
+	}
+	if all || *fc {
+		run("faults", func() error {
+			// Small workload sizes keep the campaign dense: 4 workloads
+			// x 4 injectors x 13 seeds = 208 classified runs.
+			res, err := faults.RunCampaign(faults.CampaignConfig{}, os.Stdout)
+			if err != nil {
+				return err
+			}
+			res.PrintSummary(os.Stdout)
+			return nil
+		})
 	}
 	if all || *f7 {
 		run("figure7", func() error {

@@ -3,12 +3,21 @@
 // CPI, stall breakdown, cache and bus statistics, code size, estimated
 // wall-clock time and the power-model evaluation.
 //
+// A trap (unmapped access, MMIO misuse, watchdog, deadline, internal
+// fault) prints a structured diagnostic — PC, cycle, register dump and
+// the flight-recorder tail — instead of a Go panic trace. The -inject
+// flag arms a seeded fault injector (see internal/faults) against the
+// run.
+//
 // Usage:
 //
-//	tm3270sim [-config A|B|C|D|tm3260|tm3270] [-full] [-list] <workload>
+//	tm3270sim [-config A|B|C|D|tm3260|tm3270] [-full] [-list]
+//	          [-inject kind[:rate[:delay]]] [-seed n] [-deadline d]
+//	          [-strict] [-watchdog n] <workload>
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +25,7 @@ import (
 
 	"tm3270/internal/config"
 	"tm3270/internal/encode"
+	"tm3270/internal/faults"
 	"tm3270/internal/mem"
 	"tm3270/internal/power"
 	"tm3270/internal/regalloc"
@@ -24,11 +34,24 @@ import (
 	"tm3270/internal/workloads"
 )
 
+func kindList() string {
+	var names []string
+	for _, k := range faults.Kinds() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, ", ")
+}
+
 func main() {
 	cfg := flag.String("config", "D", "target: A, B, C, D, tm3260 or tm3270")
 	full := flag.Bool("full", false, "paper-scale workload sizes (default: small)")
 	list := flag.Bool("list", false, "list workload names")
 	traceN := flag.Int64("trace", 0, "print an issue trace of the first N instructions")
+	inject := flag.String("inject", "", "fault injector spec kind[:rate[:delay]] (kinds: "+kindList()+")")
+	seed := flag.Int64("seed", 1, "fault injector seed")
+	deadline := flag.Duration("deadline", 0, "wall-clock execution deadline (0 = none)")
+	strict := flag.Bool("strict", false, "trap on unmapped loads and null-page stores")
+	watchdog := flag.Int64("watchdog", 0, "instruction-count watchdog (0 = default)")
 	flag.Parse()
 
 	if *list {
@@ -83,7 +106,10 @@ func main() {
 
 	image := mem.NewFunc()
 	if w.Init != nil {
-		w.Init(image)
+		if err := w.Init(image); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	m, err := tmsim.New(code, rm, image)
 	if err != nil {
@@ -94,11 +120,38 @@ func main() {
 		m.Trace = os.Stdout
 		m.TraceLimit = *traceN
 	}
+	m.StrictMem = *strict
+	m.Deadline = *deadline
+	if *watchdog > 0 {
+		m.MaxInstrs = *watchdog
+	}
+	var inj *faults.Injector
+	if *inject != "" {
+		spec, err := faults.ParseSpec(*inject)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		inj = faults.New(spec, *seed)
+		inj.Arm(m)
+	}
 	for v, val := range w.Args {
 		m.SetReg(v, val)
 	}
-	if err := m.Run(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	runErr := m.Run()
+	if inj != nil {
+		inj.Disarm(m)
+		for _, e := range inj.Events {
+			fmt.Printf("injected    %s\n", e.Info)
+		}
+	}
+	if runErr != nil {
+		var trap *tmsim.TrapError
+		if errors.As(runErr, &trap) {
+			trap.Dump(os.Stderr)
+		} else {
+			fmt.Fprintln(os.Stderr, runErr)
+		}
 		os.Exit(1)
 	}
 	if w.Check != nil {

@@ -39,10 +39,11 @@ func main() {
 
 	w := tm3270.NewWorkload("blend", p,
 		map[tm3270.VReg]uint32{a: srcBase, c: srcBase + n, out: dstBase, cnt: n},
-		func(m *tm3270.Memory) {
+		func(m *tm3270.Memory) error {
 			for i := 0; i < 2*n; i++ {
 				m.SetByte(srcBase+uint32(i), byte(i*7+13))
 			}
+			return nil
 		},
 		func(m *tm3270.Memory) error {
 			for i := 0; i < n; i++ {

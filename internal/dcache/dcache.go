@@ -19,6 +19,16 @@ import (
 	"tm3270/internal/prefetch"
 )
 
+// Fault is the data-cache fault-injection surface. Injectors implement
+// it; a nil Fault field is the fault-free fast path.
+type Fault interface {
+	// Prefetch intercepts a region-prefetch candidate: drop suppresses
+	// the fill entirely, delay adds CPU cycles to its completion.
+	Prefetch(lineAddr uint32) (drop bool, delay int64)
+	// Fill observes every demand line fill (cache-line corruption taps).
+	Fill(lineAddr uint32)
+}
+
 // Kind is the access type.
 type Kind int
 
@@ -54,6 +64,9 @@ type DCache struct {
 	pf  *prefetch.Unit // nil when the target has no region prefetcher
 
 	prefetched map[uint32]bool // line addr -> landed via prefetch, unused yet
+
+	// Fault, when non-nil, intercepts prefetches and observes fills.
+	Fault Fault
 
 	// cwb holds the busy-until times of the cache write buffer entries:
 	// a write-missing store occupies an entry until its line fetch
@@ -136,6 +149,9 @@ func (d *DCache) one(now int64, addr uint32, size int, lineAddr uint32, kind Kin
 		v := d.arr.Victim(lineAddr)
 		d.arr.Fill(v, lineAddr, true)
 		done := d.biu.Read(d.t, now, d.t.DCache.LineBytes, false)
+		if d.Fault != nil {
+			d.Fault.Fill(lineAddr)
+		}
 		return done - now
 
 	default: // Store
@@ -177,6 +193,9 @@ func (d *DCache) one(now int64, addr uint32, size int, lineAddr uint32, kind Kin
 		}
 		d.arr.Fill(v, lineAddr, true)
 		done := d.biu.Read(d.t, now+stall, d.t.DCache.LineBytes, false)
+		if d.Fault != nil {
+			d.Fault.Fill(lineAddr)
+		}
 		v.ReadyAt = done
 		v.Dirty = true
 		d.cwb[e] = done
@@ -226,10 +245,18 @@ func (d *DCache) maybePrefetch(now int64, loadAddr uint32) {
 	if _, hit := d.arr.Lookup(lineAddr); hit {
 		return
 	}
+	var extra int64
+	if d.Fault != nil {
+		drop, delay := d.Fault.Prefetch(lineAddr)
+		if drop {
+			return
+		}
+		extra = delay
+	}
 	d.evictFor(now, lineAddr)
 	v := d.arr.Victim(lineAddr)
 	d.arr.Fill(v, lineAddr, true)
-	v.ReadyAt = d.biu.Read(d.t, now, d.t.DCache.LineBytes, true)
+	v.ReadyAt = d.biu.Read(d.t, now, d.t.DCache.LineBytes, true) + extra
 	d.prefetched[lineAddr] = true
 	d.pf.Issued++
 	d.Stats.PrefIssued++

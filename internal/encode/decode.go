@@ -86,6 +86,9 @@ func decodeSlot(r *bitReader, code int) (*DecOp, error) {
 		if _, err := r.read(2); err != nil {
 			return nil, err
 		}
+		if _, _, err := slotInfo(uint16(op)); err != nil {
+			return nil, err
+		}
 		d.Opcode = uint16(op)
 		d.S1, d.S2, d.D = isa.Reg(s1), isa.Reg(s2), isa.Reg(dd)
 		return d, nil
@@ -96,7 +99,10 @@ func decodeSlot(r *bitReader, code int) (*DecOp, error) {
 			return nil, err
 		}
 		d.Opcode = uint16(op)
-		info, isExt := slotInfo(uint16(op))
+		info, isExt, err := slotInfo(uint16(op))
+		if err != nil {
+			return nil, err
+		}
 		if !isExt && info.HasImm && info.NSrc <= 1 && !info.IsStore {
 			s1, _ := r.read(7)
 			dd, _ := r.read(7)
@@ -159,6 +165,9 @@ func decodeSlot(r *bitReader, code int) (*DecOp, error) {
 			if err != nil {
 				return nil, err
 			}
+			if _, _, err := slotInfo(uint16(op)); err != nil {
+				return nil, err
+			}
 			d.Opcode = uint16(op)
 			d.S1, d.D, d.Imm = isa.Reg(s1), isa.Reg(dd), signExtend(imm, 18)
 			return d, nil
@@ -173,6 +182,9 @@ func decodeSlot(r *bitReader, code int) (*DecOp, error) {
 			if err != nil {
 				return nil, err
 			}
+			if _, _, err := slotInfo(uint16(op)); err != nil {
+				return nil, err
+			}
 			d.Opcode = uint16(op)
 			d.S1, d.S2, d.Imm = isa.Reg(s1), isa.Reg(s2), signExtend(imm, 18)
 			return d, nil
@@ -182,7 +194,10 @@ func decodeSlot(r *bitReader, code int) (*DecOp, error) {
 				return nil, err
 			}
 			d.Opcode = uint16(op)
-			info, isExt := slotInfo(uint16(op))
+			info, isExt, err := slotInfo(uint16(op))
+			if err != nil {
+				return nil, err
+			}
 			g, _ := r.read(7)
 			d.Guard = isa.Reg(g)
 			switch {
@@ -221,10 +236,15 @@ func decodeSlot(r *bitReader, code int) (*DecOp, error) {
 }
 
 // slotInfo returns the shape information for a decoded opcode, handling
-// the reserved extension opcode.
-func slotInfo(op uint16) (*isa.OpInfo, bool) {
+// the reserved extension opcode. Decoded binaries are untrusted input:
+// an undefined opcode is a decode error, never a panic.
+func slotInfo(op uint16) (*isa.OpInfo, bool, error) {
 	if op == SuperExtOpcode {
-		return nil, true
+		return nil, true, nil
 	}
-	return isa.Info(isa.Opcode(op)), false
+	info, ok := isa.InfoOK(isa.Opcode(op))
+	if !ok {
+		return nil, false, fmt.Errorf("undefined opcode %d", op)
+	}
+	return info, false, nil
 }

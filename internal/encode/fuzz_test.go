@@ -12,6 +12,62 @@ import (
 	"tm3270/internal/sched"
 )
 
+// FuzzDecode feeds arbitrary byte streams to the decoder. Decoded
+// binaries are untrusted input: any malformed stream — truncation,
+// undefined opcodes, reserved markers — must come back as an error,
+// never a panic or slice overrun. The seed corpus holds a valid
+// encoded kernel plus inputs that crashed earlier decoder revisions.
+func FuzzDecode(f *testing.F) {
+	valid := encodedKernel(f)
+	f.Add(valid, uint8(8))
+	f.Add(valid[:1], uint8(4))  // truncated mid-template
+	f.Add(valid[:3], uint8(4))  // truncated mid-slot
+	f.Add([]byte{}, uint8(1))   // empty image
+	// Entry slot in the regular 42-bit form carrying undefined opcode
+	// 125: 10-bit template, 3-bit marker 0, 7-bit opcode 1111101.
+	// Formerly panicked inside isa.Info.
+	f.Add([]byte{0xff, 0xc7, 0xd0}, uint8(1))
+	// Reserved 42-bit marker 7 right after the template.
+	f.Add([]byte{0xff, 0xf8}, uint8(1))
+	f.Fuzz(func(t *testing.T, img []byte, n uint8) {
+		dec, err := encode.Decode(img, 0x4000, int(n)%64)
+		if err != nil {
+			return
+		}
+		// On success every returned instruction must be well-formed.
+		for i := range dec {
+			if dec[i].Size <= 0 {
+				t.Fatalf("instr %d: non-positive size %d", i, dec[i].Size)
+			}
+		}
+	})
+}
+
+// encodedKernel builds a small valid kernel image for the fuzz corpus.
+func encodedKernel(f *testing.F) []byte {
+	b := prog.NewBuilder("seed")
+	x, y, z := b.Reg(), b.Reg(), b.Reg()
+	b.Imm(x, 7)
+	b.Imm(y, 9)
+	b.Label("top")
+	b.Add(z, x, y)
+	b.St32D(x, 0, z)
+	p := b.MustProgram()
+	code, err := sched.Schedule(p, config.TM3270())
+	if err != nil {
+		f.Fatal(err)
+	}
+	rm, err := regalloc.Allocate(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc, err := encode.Encode(code, rm, 0x4000)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return enc.Bytes
+}
+
 // TestFuzzRoundTrip builds random programs spanning every encoding
 // shape (compact, wide-register, immediate widths, guarded forms,
 // stores, supers, jumps), schedules and encodes them, then decodes the

@@ -63,7 +63,10 @@ func Reassemble(img []byte, base uint32, n int, t config.Target) (*sched.Code, *
 				continue
 			}
 			oc := isa.Opcode(d.Opcode)
-			info := isa.Info(oc)
+			info, ok := isa.InfoOK(oc)
+			if !ok {
+				return nil, nil, fmt.Errorf("encode: instr %d: undefined opcode %d", i, d.Opcode)
+			}
 			op := &prog.Op{
 				Opcode: oc,
 				Guard:  prog.VReg(d.Guard),

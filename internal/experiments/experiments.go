@@ -48,7 +48,9 @@ func Run(w *workloads.Spec, t config.Target) (*RunResult, error) {
 	}
 	image := mem.NewFunc()
 	if w.Init != nil {
-		w.Init(image)
+		if err := w.Init(image); err != nil {
+			return nil, fmt.Errorf("%s: init: %w", w.Name, err)
+		}
 	}
 	m, err := tmsim.New(code, rm, image)
 	if err != nil {
@@ -79,20 +81,16 @@ type Figure7Row struct {
 func Figure7(p workloads.Params) ([]Figure7Row, error) {
 	targets := []config.Target{config.ConfigA(), config.ConfigB(), config.ConfigC(), config.ConfigD()}
 	var rows []Figure7Row
-	for _, build := range []func(workloads.Params) *workloads.Spec{
-		workloads.Memset, workloads.Memcpy, workloads.Filter,
-		workloads.RGB2YUV, workloads.RGB2CMYK, workloads.RGB2YIQ,
-		workloads.Mpeg2A, workloads.Mpeg2B, workloads.Mpeg2C,
-		workloads.FilmDet, workloads.MajoritySel,
-	} {
+	for _, name := range workloads.Table5Names() {
 		secs := make([]float64, 4)
-		name := ""
 		for i, t := range targets {
 			// Each configuration gets a freshly built workload (its own
 			// memory image) and its own compilation — the paper's
 			// "re-compilation only" methodology.
-			w := build(p)
-			name = w.Name
+			w, err := workloads.ByName(name, p)
+			if err != nil {
+				return nil, err
+			}
 			r, err := Run(w, t)
 			if err != nil {
 				return nil, err
@@ -371,11 +369,19 @@ func Ablation(w io.Writer, width, height int) error {
 	// products on SUPER_DUALIMIX versus ifir16 pairs.
 	p := workloads.Small()
 	p.Mpeg2W, p.Mpeg2H, p.Mpeg2Frames = 352, 288, 1
-	fir, err := Run(workloads.Mpeg2B(p), t)
+	wFir, err := workloads.Mpeg2B(p)
 	if err != nil {
 		return err
 	}
-	sup, err := Run(workloads.Mpeg2Super(p), t)
+	fir, err := Run(wFir, t)
+	if err != nil {
+		return err
+	}
+	wSup, err := workloads.Mpeg2Super(p)
+	if err != nil {
+		return err
+	}
+	sup, err := Run(wSup, t)
 	if err != nil {
 		return err
 	}
@@ -426,7 +432,11 @@ func LineSizeSweep(w io.Writer, p workloads.Params) error {
 		t.Name = fmt.Sprintf("%dKB/%dB", c.sizeKB, c.lineB)
 		t.DCache.SizeBytes = c.sizeKB << 10
 		t.DCache.LineBytes = c.lineB
-		r, err := Run(workloads.Mpeg2B(p), t)
+		w2, err := workloads.Mpeg2B(p)
+		if err != nil {
+			return err
+		}
+		r, err := Run(w2, t)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,254 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tm3270/internal/config"
+	"tm3270/internal/mem"
+	"tm3270/internal/prefetch"
+	"tm3270/internal/prog"
+	"tm3270/internal/regalloc"
+	"tm3270/internal/sched"
+	"tm3270/internal/tmsim"
+	"tm3270/internal/workloads"
+)
+
+// Outcome classifies one fault-injected run.
+type Outcome int
+
+const (
+	// Masked: the run completed, the output check passed and memory
+	// matches the fault-free reference everywhere outside the injection
+	// sites — the fault never propagated.
+	Masked Outcome = iota
+	// DetectedTrap: the machine raised a structured trap (or another
+	// execution error) instead of running on with corrupted state.
+	DetectedTrap
+	// DetectedDivergence: the run completed but its outputs diverge —
+	// the workload's own check failed, or memory differs from the
+	// sequential reference beyond the injection sites.
+	DetectedDivergence
+)
+
+// String names the outcome for campaign reports.
+func (o Outcome) String() string {
+	switch o {
+	case DetectedTrap:
+		return "detected-trap"
+	case DetectedDivergence:
+		return "detected-divergence"
+	}
+	return "masked"
+}
+
+// RunReport is the classification of one seeded run.
+type RunReport struct {
+	Workload string
+	Spec     Spec
+	Seed     int64
+	Outcome  Outcome
+	Detail   string // trap summary or divergence description
+	Injected int    // number of fault events the injector fired
+}
+
+// CampaignConfig parameterizes a fault campaign. Zero fields take the
+// documented defaults.
+type CampaignConfig struct {
+	// Workloads are registry names (default: memset, memcpy, filter,
+	// blockwalk_pf — the last so prefetch-path injectors have traffic).
+	Workloads []string
+	// Specs are the injectors to sweep (default: bitflip, loadflip,
+	// lineflip, droppf).
+	Specs []Spec
+	// Seeds is the number of seeds per (workload, injector) pair
+	// (default 13: 4 workloads x 4 injectors x 13 seeds = 208 runs).
+	Seeds int
+	// Params sizes the workloads (default workloads.Small()).
+	Params *workloads.Params
+	// Target is the processor configuration (default config.TM3270()).
+	Target *config.Target
+	// MaxInstrs is the per-run instruction watchdog (default 200M).
+	MaxInstrs int64
+	// Deadline is the per-run wall-clock bound (default 30s).
+	Deadline time.Duration
+}
+
+func (c *CampaignConfig) fill() {
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"memset", "memcpy", "filter", "blockwalk_pf"}
+	}
+	if len(c.Specs) == 0 {
+		c.Specs = []Spec{
+			{Kind: BitFlip},
+			{Kind: LoadFlip, Rate: 0.002},
+			{Kind: LineFlip, Rate: 0.05},
+			{Kind: DropPrefetch, Rate: 0.25},
+		}
+	}
+	if c.Seeds <= 0 {
+		c.Seeds = 13
+	}
+	if c.Params == nil {
+		p := workloads.Small()
+		c.Params = &p
+	}
+	if c.Target == nil {
+		t := config.TM3270()
+		c.Target = &t
+	}
+	if c.MaxInstrs <= 0 {
+		c.MaxInstrs = 200_000_000
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 30 * time.Second
+	}
+}
+
+// CampaignResult aggregates a full campaign.
+type CampaignResult struct {
+	Reports []RunReport
+	Counts  map[Outcome]int
+}
+
+// Runs returns the total number of classified runs.
+func (r *CampaignResult) Runs() int { return len(r.Reports) }
+
+// RunCampaign executes Seeds seeded runs of every (workload, injector)
+// pair and classifies each as detected (trap or divergence against the
+// sequential reference) or masked. Every run is bounded by the
+// instruction watchdog and the wall-clock deadline, and internal panics
+// surface as traps — a campaign never hangs and never panics. When w is
+// non-nil, one classification line per run is printed.
+func RunCampaign(cfg CampaignConfig, w io.Writer) (*CampaignResult, error) {
+	cfg.fill()
+	res := &CampaignResult{Counts: map[Outcome]int{}}
+	for _, name := range cfg.Workloads {
+		ref, err := referenceImage(name, *cfg.Params)
+		if err != nil {
+			return nil, fmt.Errorf("faults: reference %s: %w", name, err)
+		}
+		for _, spec := range cfg.Specs {
+			for s := 0; s < cfg.Seeds; s++ {
+				seed := int64(s + 1)
+				rep, err := runOne(name, cfg, spec, seed, ref)
+				if err != nil {
+					return nil, fmt.Errorf("faults: %s/%s seed %d: %w", name, spec.Kind, seed, err)
+				}
+				res.Reports = append(res.Reports, *rep)
+				res.Counts[rep.Outcome]++
+				if w != nil {
+					fmt.Fprintf(w, "%-14s %-22s seed %-3d %-19s events=%-3d %s\n",
+						rep.Workload, rep.Spec, rep.Seed, rep.Outcome, rep.Injected, rep.Detail)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// PrintSummary renders the aggregate counts.
+func (r *CampaignResult) PrintSummary(w io.Writer) {
+	fmt.Fprintf(w, "fault campaign: %d runs, %d detected-trap, %d detected-divergence, %d masked\n",
+		r.Runs(), r.Counts[DetectedTrap], r.Counts[DetectedDivergence], r.Counts[Masked])
+}
+
+// referenceImage runs the workload on the sequential reference
+// interpreter and returns its final (fault-free) memory image.
+func referenceImage(name string, p workloads.Params) (*mem.Func, error) {
+	w, err := workloads.ByName(name, p)
+	if err != nil {
+		return nil, err
+	}
+	image := mem.NewFunc()
+	if w.Init != nil {
+		if err := w.Init(image); err != nil {
+			return nil, err
+		}
+	}
+	in := prog.NewInterp(w.Prog, image)
+	in.MaxOps = 2_000_000_000
+	for v, val := range w.Args {
+		in.SetReg(v, val)
+	}
+	if err := in.Run(); err != nil {
+		return nil, err
+	}
+	if w.Check != nil {
+		if err := w.Check(image); err != nil {
+			return nil, fmt.Errorf("fault-free reference fails its own check: %w", err)
+		}
+	}
+	return image, nil
+}
+
+// runOne executes one seeded fault-injected run and classifies it.
+func runOne(name string, cfg CampaignConfig, spec Spec, seed int64, ref *mem.Func) (*RunReport, error) {
+	// A fresh workload instance per run: Init/Check closures carry
+	// per-image state.
+	w, err := workloads.ByName(name, *cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	code, err := sched.Schedule(w.Prog, *cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+	rm, err := regalloc.Allocate(w.Prog)
+	if err != nil {
+		return nil, err
+	}
+	image := mem.NewFunc()
+	if w.Init != nil {
+		if err := w.Init(image); err != nil {
+			return nil, err
+		}
+	}
+	m, err := tmsim.New(code, rm, image)
+	if err != nil {
+		return nil, err
+	}
+	m.MaxInstrs = cfg.MaxInstrs
+	m.Deadline = cfg.Deadline
+	for v, val := range w.Args {
+		m.SetReg(v, val)
+	}
+
+	inj := New(spec, seed)
+	inj.Arm(m)
+	runErr := m.Run()
+	inj.Disarm(m)
+
+	rep := &RunReport{Workload: name, Spec: spec, Seed: seed, Injected: len(inj.Events)}
+	if runErr != nil {
+		rep.Outcome = DetectedTrap
+		rep.Detail = runErr.Error()
+		return rep, nil
+	}
+	if w.Check != nil {
+		if cerr := w.Check(image); cerr != nil {
+			rep.Outcome = DetectedDivergence
+			rep.Detail = "output check: " + cerr.Error()
+			return rep, nil
+		}
+	}
+	// The output check passed; any remaining difference against the
+	// fault-free reference beyond the injection sites (and the MMIO
+	// register block, which the reference interpreter stores to as
+	// plain memory) still counts as a detected divergence.
+	corrupted := inj.CorruptedAddrs()
+	ignore := func(addr uint32) bool {
+		if corrupted[addr] {
+			return true
+		}
+		return addr >= prefetch.MMIOBase && addr < prefetch.MMIOBase+prefetch.MMIOSize
+	}
+	if addr, diff := mem.DiffIgnore(image, ref, ignore); diff {
+		rep.Outcome = DetectedDivergence
+		rep.Detail = fmt.Sprintf("memory diverges from reference at %#x", addr)
+		return rep, nil
+	}
+	rep.Outcome = Masked
+	return rep, nil
+}

@@ -100,6 +100,15 @@ func Info(op Opcode) *OpInfo {
 	return &opTable[op]
 }
 
+// InfoOK is Info for untrusted opcodes (decoded binaries, trap
+// snapshots): it reports failure instead of panicking.
+func InfoOK(op Opcode) (*OpInfo, bool) {
+	if int(op) >= NumOpcodes || opTable[op].Name == "" {
+		return nil, false
+	}
+	return &opTable[op], true
+}
+
 // Lookup returns the opcode with the given assembler name.
 func Lookup(name string) (Opcode, bool) {
 	op, ok := byName[name]

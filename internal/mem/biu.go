@@ -2,6 +2,14 @@ package mem
 
 import "tm3270/internal/config"
 
+// ReadFault injects extra latency into bus reads (DDR refresh storms,
+// arbitration spikes). Fault injectors implement it; nil is fault-free.
+type ReadFault interface {
+	// ReadDelay returns extra CPU cycles added to the read's latency
+	// and bus occupancy.
+	ReadDelay(bytes int, prefetch bool) int64
+}
+
 // BIU models the bus interface unit and the 32-bit DDR SDRAM behind it.
 // It tracks bus occupancy (transactions serialize FCFS) and converts
 // between the SoC memory clock and the processor clock, standing in for
@@ -11,6 +19,9 @@ type BIU struct {
 	latency  int64 // first-access latency (activate + CAS + crossing)
 	overhead int64 // per-transaction occupancy beyond data transfer
 	busyTill int64
+
+	// Fault, when non-nil, adds injected latency to reads.
+	Fault ReadFault
 
 	// Statistics.
 	Reads, Writes             int64
@@ -41,6 +52,9 @@ func transferCycles(t *config.Target, bytes int) int64 {
 func (b *BIU) Read(t *config.Target, now int64, bytes int, prefetch bool) int64 {
 	start := max64(now, b.busyTill)
 	tr := transferCycles(t, bytes)
+	if b.Fault != nil {
+		tr += b.Fault.ReadDelay(bytes, prefetch)
+	}
 	b.busyTill = start + b.overhead + tr
 	b.Reads++
 	b.BytesRead += int64(bytes)

@@ -3,8 +3,19 @@
 // processor's bus interface unit.
 package mem
 
+import "sort"
+
 // pageBits selects a 4 KB page granularity for the sparse image.
 const pageBits = 12
+
+// LoadFault observes (and may corrupt) the value returned by every
+// functional load. Fault injectors implement it; a nil Fault field is
+// the fault-free fast path.
+type LoadFault interface {
+	// TapLoad receives the loaded value and returns the value the
+	// processor actually sees.
+	TapLoad(addr uint32, n int, v uint64) uint64
+}
 
 // Func is a sparse functional memory image over the full 32-bit address
 // space. All multi-byte accesses are big-endian and may be non-aligned,
@@ -12,6 +23,9 @@ const pageBits = 12
 // reading as zero everywhere.
 type Func struct {
 	pages map[uint32]*[1 << pageBits]byte
+
+	// Fault, when non-nil, taps every Load (fault injection).
+	Fault LoadFault
 }
 
 // NewFunc returns an empty memory image.
@@ -29,6 +43,40 @@ func (m *Func) page(addr uint32, create bool) *[1 << pageBits]byte {
 	return p
 }
 
+// Mapped reports whether every byte of [addr, addr+n) lies on a page
+// that has been written at least once. The trap model uses it to turn
+// reads of never-initialized memory into diagnosable faults instead of
+// silent zeroes.
+func (m *Func) Mapped(addr uint32, n int) bool {
+	if n < 1 {
+		n = 1
+	}
+	first := addr >> pageBits
+	last := (addr + uint32(n) - 1) >> pageBits
+	if last < first {
+		// The access wraps the 32-bit address space.
+		return m.Mapped(addr, int(-addr)) && m.Mapped(0, n-int(-addr))
+	}
+	for idx := first; idx <= last; idx++ {
+		if m.pages[idx] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// PageAddrs returns the base addresses of all populated pages in
+// ascending order. Fault injectors use it to pick corruption targets
+// deterministically (map iteration order is randomized).
+func (m *Func) PageAddrs() []uint32 {
+	out := make([]uint32, 0, len(m.pages))
+	for idx := range m.pages {
+		out = append(out, idx<<pageBits)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // ByteAt returns the byte at addr.
 func (m *Func) ByteAt(addr uint32) byte {
 	if p := m.page(addr, false); p != nil {
@@ -42,11 +90,19 @@ func (m *Func) SetByte(addr uint32, v byte) {
 	m.page(addr, true)[addr&(1<<pageBits-1)] = v
 }
 
+// FlipBit inverts one bit of the byte at addr (fault injection).
+func (m *Func) FlipBit(addr uint32, bit uint) {
+	m.SetByte(addr, m.ByteAt(addr)^(1<<(bit&7)))
+}
+
 // Load implements isa.Memory: n bytes (1..8) big-endian starting at addr.
 func (m *Func) Load(addr uint32, n int) uint64 {
 	var v uint64
 	for i := 0; i < n; i++ {
 		v = v<<8 | uint64(m.ByteAt(addr+uint32(i)))
+	}
+	if m.Fault != nil {
+		v = m.Fault.TapLoad(addr, n, v)
 	}
 	return v
 }
@@ -78,6 +134,14 @@ func (m *Func) ReadBytes(addr uint32, n int) []byte {
 // Diff returns the first address at which the two images differ. It
 // compares the union of both images' populated pages.
 func Diff(a, b *Func) (uint32, bool) {
+	return DiffIgnore(a, b, nil)
+}
+
+// DiffIgnore is Diff with an optional skip predicate: addresses for
+// which ignore returns true are not compared. Fault campaigns use it to
+// exclude the injected corruption sites themselves when deciding
+// whether a fault propagated.
+func DiffIgnore(a, b *Func, ignore func(addr uint32) bool) (uint32, bool) {
 	pages := map[uint32]bool{}
 	for idx := range a.pages {
 		pages[idx] = true
@@ -88,8 +152,12 @@ func Diff(a, b *Func) (uint32, bool) {
 	for idx := range pages {
 		base := idx << pageBits
 		for off := uint32(0); off < 1<<pageBits; off++ {
-			if a.ByteAt(base+off) != b.ByteAt(base+off) {
-				return base + off, true
+			addr := base + off
+			if ignore != nil && ignore(addr) {
+				continue
+			}
+			if a.ByteAt(addr) != b.ByteAt(addr) {
+				return addr, true
 			}
 		}
 	}

@@ -68,19 +68,14 @@ type Layout struct {
 // NumMBs returns the macroblock count.
 func (l *Layout) NumMBs() int { return l.MBW * l.MBH }
 
-// Build populates memory with a reference frame, motion vectors, coded
-// flags and residual coefficients for a w×h frame (multiples of 16).
-//
-// Two concessions keep the kernel portable across the TM3260 (which has
-// no penalty-free non-aligned access): horizontal motion components are
-// quantized to 4-byte alignment, and vectors are clamped so that every
-// 16x16 reference block stays inside the frame. Neither affects the
-// property under test — which cache lines the motion field touches.
-func Build(m *mem.Func, w, h int, s Stream) (*Layout, error) {
+// NewLayout computes the working-set arrangement of a w×h frame
+// (multiples of 16) without touching memory; Build populates an image
+// for it. Kernel builders use it to bind the fixed base addresses.
+func NewLayout(w, h int) (*Layout, error) {
 	if w%16 != 0 || h%16 != 0 {
 		return nil, fmt.Errorf("mpeg2: frame %dx%d not multiple of 16", w, h)
 	}
-	l := &Layout{
+	return &Layout{
 		Ref:     video.NewFrame(refBase, w, h),
 		Out:     video.NewFrame(outBase, w, h),
 		RefCb:   video.NewFrame(refCbBase, w/2, h/2),
@@ -93,6 +88,21 @@ func Build(m *mem.Func, w, h int, s Stream) (*Layout, error) {
 		Scratch: scratchBase,
 		MBW:     w / 16,
 		MBH:     h / 16,
+	}, nil
+}
+
+// Build populates memory with a reference frame, motion vectors, coded
+// flags and residual coefficients for a w×h frame (multiples of 16).
+//
+// Two concessions keep the kernel portable across the TM3260 (which has
+// no penalty-free non-aligned access): horizontal motion components are
+// quantized to 4-byte alignment, and vectors are clamped so that every
+// 16x16 reference block stays inside the frame. Neither affects the
+// property under test — which cache lines the motion field touches.
+func Build(m *mem.Func, w, h int, s Stream) (*Layout, error) {
+	l, err := NewLayout(w, h)
+	if err != nil {
+		return nil, err
 	}
 	video.FillTestPattern(m, l.Ref, s.Seed)
 	video.FillTestPattern(m, l.RefCb, s.Seed+7)

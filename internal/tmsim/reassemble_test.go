@@ -36,7 +36,9 @@ func TestRunFromBinary(t *testing.T) {
 		// Direct run.
 		mem1 := mem.NewFunc()
 		if w.Init != nil {
-			w.Init(mem1)
+			if err := w.Init(mem1); err != nil {
+				t.Fatal(err)
+			}
 		}
 		m1, err := tmsim.New(code, rm, mem1)
 		if err != nil {
@@ -57,7 +59,9 @@ func TestRunFromBinary(t *testing.T) {
 		}
 		mem2 := mem.NewFunc()
 		if w.Init != nil {
-			w.Init(mem2)
+			if err := w.Init(mem2); err != nil {
+				t.Fatal(err)
+			}
 		}
 		m2, err := tmsim.New(code2, rm2, mem2)
 		if err != nil {

@@ -14,6 +14,7 @@ package tmsim
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"tm3270/internal/config"
 	"tm3270/internal/dcache"
@@ -82,14 +83,31 @@ type Machine struct {
 	regs isa.RegFile
 	pend []pendWrite
 
-	// MaxInstrs aborts runaway executions (0 = default limit).
+	// MaxInstrs aborts runaway executions (0 = default limit) with a
+	// watchdog trap.
 	MaxInstrs int64
+
+	// Deadline aborts executions exceeding a wall-clock budget with a
+	// deadline trap (0 = no deadline). It backstops MaxInstrs against
+	// schedules that stall rather than spin.
+	Deadline time.Duration
+
+	// StrictMem, when set, traps loads that touch memory pages never
+	// written (instead of silently reading zeroes) and stores into the
+	// reserved null page.
+	StrictMem bool
+
+	// RecorderDepth sets the flight-recorder length (0 = default).
+	RecorderDepth int
 
 	// Trace, when non-nil, receives a one-line record per issued
 	// instruction for the first TraceLimit instructions (default 200):
 	// cycle, instruction index, and the operations issued.
 	Trace      io.Writer
 	TraceLimit int64
+
+	rec   *recorder
+	curOp string // mnemonic of the memory op in flight (trap context)
 
 	Stats Stats
 }
@@ -135,22 +153,63 @@ func (m *Machine) Reg(v prog.VReg) uint32 { return m.regs.Read(m.RegMap.Reg(v)) 
 
 // busMem routes operation-level memory accesses either to the
 // memory-mapped prefetch configuration registers or to the memory image.
+// Malformed accesses raise memory traps (as panics converted to
+// TrapErrors at the Run boundary, since isa.Memory carries no error
+// path — like the precise exceptions of the real load/store unit).
 type busMem struct {
-	f  *mem.Func
-	pf *prefetch.Unit
+	f      *mem.Func
+	pf     *prefetch.Unit
+	strict bool
+}
+
+// nullPageEnd bounds the reserved null page: strict mode treats any
+// store below it as a null-pointer-style fault.
+const nullPageEnd = 0x1000
+
+func (b busMem) checkMMIO(addr uint32, n int) {
+	if !prefetch.IsMMIO(addr) {
+		// Accesses straddling the block boundary from below are
+		// malformed too.
+		if addr < prefetch.MMIOBase && addr+uint32(n) > prefetch.MMIOBase {
+			panic(&memTrap{kind: TrapMMIO, addr: addr,
+				reason: fmt.Sprintf("%d-byte access straddles the prefetch MMIO block", n)})
+		}
+		return
+	}
+	switch {
+	case b.pf == nil:
+		panic(&memTrap{kind: TrapMMIO, addr: addr,
+			reason: "prefetch MMIO access on a target without a region prefetcher"})
+	case n != 4:
+		panic(&memTrap{kind: TrapMMIO, addr: addr,
+			reason: fmt.Sprintf("%d-byte prefetch MMIO access (registers are 32-bit)", n)})
+	case addr%4 != 0:
+		panic(&memTrap{kind: TrapMMIO, addr: addr,
+			reason: "misaligned prefetch MMIO access"})
+	}
 }
 
 func (b busMem) Load(addr uint32, n int) uint64 {
-	if b.pf != nil && prefetch.IsMMIO(addr) && n == 4 {
+	b.checkMMIO(addr, n)
+	if b.pf != nil && prefetch.IsMMIO(addr) {
 		return uint64(b.pf.LoadMMIO(addr))
+	}
+	if b.strict && !b.f.Mapped(addr, n) {
+		panic(&memTrap{kind: TrapUnmappedLoad, addr: addr,
+			reason: fmt.Sprintf("%d-byte load from unmapped memory", n)})
 	}
 	return b.f.Load(addr, n)
 }
 
 func (b busMem) Store(addr uint32, n int, v uint64) {
-	if b.pf != nil && prefetch.IsMMIO(addr) && n == 4 {
+	b.checkMMIO(addr, n)
+	if b.pf != nil && prefetch.IsMMIO(addr) {
 		b.pf.StoreMMIO(addr, uint32(v))
 		return
+	}
+	if b.strict && addr < nullPageEnd {
+		panic(&memTrap{kind: TrapUnmappedStore, addr: addr,
+			reason: fmt.Sprintf("%d-byte store into the null page", n)})
 	}
 	b.f.Store(addr, n, v)
 }
@@ -171,13 +230,42 @@ func effAddr(op *prog.Op, src *[4]uint32) (uint32, int) {
 	}
 }
 
-// Run executes the loaded kernel to completion.
-func (m *Machine) Run() error {
+// Run executes the loaded kernel to completion. Execution faults —
+// malformed memory accesses, control-flow violations, watchdog and
+// deadline expiry, and any internal panic of the simulator core — are
+// returned as a *TrapError carrying the PC, cycle, register dump and
+// the flight-recorder tail at the fault.
+func (m *Machine) Run() (err error) {
+	m.rec = newRecorder(m.RecorderDepth)
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		// Locate the fault at the last issued instruction.
+		var cycle, issue int64
+		idx := -1
+		if e, ok := m.rec.last(); ok {
+			cycle, issue, idx = e.cycle, e.issue, e.idx
+		}
+		if mt, ok := r.(*memTrap); ok {
+			t := m.trap(mt.kind, cycle, issue, idx, mt.reason)
+			t.Addr = mt.addr
+			t.Op = m.curOp
+			err = t
+			return
+		}
+		t := m.trap(TrapInternal, cycle, issue, idx, fmt.Sprintf("recovered panic: %v", r))
+		t.Panic = r
+		err = t
+	}()
+
 	maxInstrs := m.MaxInstrs
 	if maxInstrs == 0 {
 		maxInstrs = 2_000_000_000
 	}
-	bus := busMem{f: m.Mem, pf: m.PF}
+	start := time.Now()
+	bus := busMem{f: m.Mem, pf: m.PF, strict: m.StrictMem}
 	delay := int64(m.Target.JumpDelaySlots)
 
 	var (
@@ -197,7 +285,12 @@ func (m *Machine) Run() error {
 
 	for idx < len(m.Code.Instrs) {
 		if issue >= maxInstrs {
-			return fmt.Errorf("tmsim %s: exceeded %d instructions", m.Code.Name, maxInstrs)
+			return m.trap(TrapWatchdog, cycle, issue, idx,
+				fmt.Sprintf("exceeded %d instructions", maxInstrs))
+		}
+		if m.Deadline > 0 && issue&0x1fff == 0 && time.Since(start) > m.Deadline {
+			return m.trap(TrapDeadline, cycle, issue, idx,
+				fmt.Sprintf("exceeded wall-clock deadline %v", m.Deadline))
 		}
 		// Commit in-flight register writes due at this instruction.
 		m.commit(issue)
@@ -209,6 +302,7 @@ func (m *Machine) Run() error {
 		}
 
 		in := &m.Code.Instrs[idx]
+		m.rec.record(cycle, issue, idx)
 
 		if m.Trace != nil {
 			limit := m.TraceLimit
@@ -254,6 +348,7 @@ func (m *Machine) Run() error {
 			info := op.Info()
 
 			if info.IsLoad || info.IsStore {
+				m.curOp = info.Name
 				addr, size := effAddr(op, &ev.ctx.Src)
 				mmio := m.PF != nil && prefetch.IsMMIO(addr)
 				if info.IsLoad {
@@ -292,11 +387,17 @@ func (m *Machine) Run() error {
 				if ev.ctx.Taken {
 					m.Stats.Taken++
 					if redirectAfter >= 0 {
-						return fmt.Errorf("tmsim %s: jump taken inside a delay window (instr %d)", m.Code.Name, idx)
+						t := m.trap(TrapDelayViolation, cycle, issue, idx,
+							fmt.Sprintf("jump taken inside the delay window of the jump at issue %d", redirectAfter-delay))
+						t.Op = op.Info().Name
+						return t
 					}
 					ti, ok := m.Code.Labels[op.Target]
 					if !ok {
-						return fmt.Errorf("tmsim %s: unknown label %q", m.Code.Name, op.Target)
+						t := m.trap(TrapUnknownLabel, cycle, issue, idx,
+							fmt.Sprintf("jump to unknown label %q", op.Target))
+						t.Op = op.Info().Name
+						return t
 					}
 					redirectAfter = issue + delay
 					redirectTo = ti

@@ -1,0 +1,95 @@
+package tmsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"tm3270/internal/config"
+	"tm3270/internal/prog"
+	"tm3270/internal/tmsim"
+)
+
+// spinProgram loops until i reaches n (never, for n = 0).
+func spinProgram(name string, n int32) *prog.Program {
+	b := prog.NewBuilder(name)
+	i, cond := b.Reg(), b.Reg()
+	b.Imm(i, 1)
+	b.Label("loop")
+	b.AddI(i, i, 1)
+	b.NeqI(cond, i, n)
+	b.JmpT(cond, "loop")
+	return b.MustProgram()
+}
+
+func TestMaxInstrsWatchdogTraps(t *testing.T) {
+	m := buildMachine(t, spinProgram("spin", 0), config.TM3270(), nil)
+	m.MaxInstrs = 1000
+	trap := wantTrap(t, m, tmsim.TrapWatchdog)
+	if trap.Issue != 1000 {
+		t.Errorf("watchdog fired at issue %d, want 1000", trap.Issue)
+	}
+	if !strings.Contains(trap.Reason, "1000") {
+		t.Errorf("reason %q does not name the limit", trap.Reason)
+	}
+	if len(trap.Recorder) == 0 {
+		t.Error("watchdog trap has an empty flight recorder")
+	}
+}
+
+func TestWatchdogNotTriggeredByNormalRun(t *testing.T) {
+	m := buildMachine(t, spinProgram("bounded", 100), config.TM3270(), nil)
+	m.MaxInstrs = 100_000
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m.Stats.Instrs >= 100_000 {
+		t.Errorf("executed %d instructions, watchdog margin exhausted", m.Stats.Instrs)
+	}
+}
+
+func TestTraceEmitsRecords(t *testing.T) {
+	m := buildMachine(t, spinProgram("traced", 50), config.TM3270(), nil)
+	var sb strings.Builder
+	m.Trace = &sb
+	m.TraceLimit = 10
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("trace has %d lines, want 10 (TraceLimit)", len(lines))
+	}
+	for i, ln := range lines {
+		if !strings.HasPrefix(ln, "c") {
+			t.Errorf("trace line %d lacks the cycle column: %q", i, ln)
+		}
+	}
+	// Each traced instruction names its issued ops or (nop).
+	if !strings.Contains(sb.String(), "iaddi") && !strings.Contains(sb.String(), "iimm") {
+		t.Errorf("trace names no operations:\n%s", sb.String())
+	}
+}
+
+func TestTraceDefaultLimit(t *testing.T) {
+	// The default trace limit is 200 instructions.
+	m := buildMachine(t, spinProgram("traced_default", 1000), config.TM3270(), nil)
+	var sb strings.Builder
+	m.Trace = &sb
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 200 {
+		t.Errorf("trace has %d lines, want the default limit of 200", len(lines))
+	}
+	if m.Stats.Instrs <= 200 {
+		t.Fatalf("program too short (%d instrs) to exercise the limit", m.Stats.Instrs)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	m := buildMachine(t, spinProgram("untraced", 50), config.TM3270(), nil)
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -84,8 +84,9 @@ func BlockWalk(p Params, pf bool) *Spec {
 		Prog:        pr,
 		TM3270Only:  pf,
 		Args:        map[prog.VReg]uint32{imgPtr: walkImgBase, resPtr: walkResBase},
-		Init: func(m *mem.Func) {
+		Init: func(m *mem.Func) error {
 			video.FillTestPattern(m, video.NewFrame(walkImgBase, w, h), 55)
+			return nil
 		},
 		Check: func(m *mem.Func) error {
 			var want uint32

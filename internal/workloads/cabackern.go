@@ -231,7 +231,7 @@ func CABACRef(f FieldType) *Spec {
 			lpsBase: lpsTabBase, mpsnB: mpsNextBase, lpsnB: lpsNextBase,
 			ctxB: cabCtxBase, maintB: cabMaint, n: uint32(d.nBins),
 		},
-		Init:  func(m *mem.Func) { f.install(m, d) },
+		Init:  func(m *mem.Func) error { f.install(m, d); return nil },
 		Check: cabacCheck(d),
 	}
 }
@@ -305,7 +305,7 @@ func CABACOpt(f FieldType) *Spec {
 			streamPtr: cabStream, seqPtr: cabSeqBase, bitsPtr: cabBitsBase,
 			ctxB: cabCtxBase, maintB: cabMaint, n: uint32(d.nBins),
 		},
-		Init:  func(m *mem.Func) { f.install(m, d) },
+		Init:  func(m *mem.Func) error { f.install(m, d); return nil },
 		Check: cabacCheck(d),
 	}
 }

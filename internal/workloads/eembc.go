@@ -24,11 +24,12 @@ const (
 	cmykBase = 0x0680_0d00
 )
 
-func initRGB(p Params) func(*mem.Func) {
-	return func(m *mem.Func) {
+func initRGB(p Params) func(*mem.Func) error {
+	return func(m *mem.Func) error {
 		video.FillTestPattern(m, video.NewFrame(imgRBase, p.ImageW, p.ImageH), 101)
 		video.FillTestPattern(m, video.NewFrame(imgGBase, p.ImageW, p.ImageH), 202)
 		video.FillTestPattern(m, video.NewFrame(imgBBase, p.ImageW, p.ImageH), 303)
+		return nil
 	}
 }
 
@@ -117,8 +118,9 @@ func Filter(p Params) *Spec {
 			rOut: grayOut + uint32(p.ImageW),
 			rows: uint32(p.ImageH - 2),
 		},
-		Init: func(m *mem.Func) {
+		Init: func(m *mem.Func) error {
 			video.FillTestPattern(m, video.NewFrame(grayIn, p.ImageW, p.ImageH), 404)
+			return nil
 		},
 		Check: func(m *mem.Func) error {
 			at := func(x, y int) int32 { return int32(m.ByteAt(grayIn + uint32(y*p.ImageW+x))) }

@@ -201,9 +201,10 @@ func MotionEst(mp MEParams) *Spec {
 			refPtr: meRefBase,
 			outPtr: meOutBase,
 		},
-		Init: func(m *mem.Func) {
+		Init: func(m *mem.Func) error {
 			video.FillTestPattern(m, video.NewFrame(meCurBase, mp.W, mp.H), 90)
 			video.FillTestPattern(m, video.NewFrame(meRefBase, mp.W, mp.H), 91)
+			return nil
 		},
 		Check: meCheck(mp, blocksX, blocksY),
 	}

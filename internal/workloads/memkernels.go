@@ -80,10 +80,11 @@ func Memcpy(p Params) *Spec {
 		Args: map[prog.VReg]uint32{
 			src: memSrcBase, dst: memDstBase, cnt: uint32(bytes),
 		},
-		Init: func(m *mem.Func) {
+		Init: func(m *mem.Func) error {
 			for i := 0; i < bytes; i++ {
 				m.SetByte(memSrcBase+uint32(i), byte(i*31+7))
 			}
+			return nil
 		},
 		Check: func(m *mem.Func) error {
 			want := make([]byte, bytes)

@@ -121,13 +121,14 @@ func MP3Synth(p Params) *Spec {
 			winPtr: mp3WinBase, smpPtr: mp3SmpBase, outPtr: mp3OutBase,
 			gcnt: uint32(granules),
 		},
-		Init: func(m *mem.Func) {
+		Init: func(m *mem.Func) error {
 			for i, v := range win {
 				m.Store(mp3WinBase+uint32(2*i), 2, uint64(uint16(v)))
 			}
 			for i, v := range smp {
 				m.Store(mp3SmpBase+uint32(2*i), 2, uint64(uint16(v)))
 			}
+			return nil
 		},
 		Check: func(m *mem.Func) error {
 			want := mp3Ref(win, smp, granules)

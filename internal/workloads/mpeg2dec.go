@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"fmt"
+
 	"tm3270/internal/mem"
 	"tm3270/internal/mpeg2"
 	"tm3270/internal/prog"
@@ -15,45 +17,55 @@ import (
 // and clipped addition. The loop uses only the common TriMedia ISA
 // (aligned loads, ifir16 for the IDCT dot products), so it re-compiles
 // for every Figure 7 configuration.
-func Mpeg2A(p Params) *Spec { return mpeg2Spec(p, mpeg2.StreamA) }
+func Mpeg2A(p Params) (*Spec, error) { return mpeg2Spec(p, mpeg2.StreamA) }
 
 // Mpeg2B is the moderate-motion stream.
-func Mpeg2B(p Params) *Spec { return mpeg2Spec(p, mpeg2.StreamB) }
+func Mpeg2B(p Params) (*Spec, error) { return mpeg2Spec(p, mpeg2.StreamB) }
 
 // Mpeg2C is the smooth-motion stream.
-func Mpeg2C(p Params) *Spec { return mpeg2Spec(p, mpeg2.StreamC) }
+func Mpeg2C(p Params) (*Spec, error) { return mpeg2Spec(p, mpeg2.StreamC) }
 
 // Mpeg2Super is the mpeg2_b decode with the IDCT dot products on
 // SUPER_DUALIMIX — the texture-pipeline ablation of reference [13]
 // (TM3270 only).
-func Mpeg2Super(p Params) *Spec {
-	sp := mpeg2SpecOpt(p, mpeg2.StreamB, true)
+func Mpeg2Super(p Params) (*Spec, error) {
+	sp, err := mpeg2SpecOpt(p, mpeg2.StreamB, true)
+	if err != nil {
+		return nil, err
+	}
 	sp.Name = "mpeg2_super"
 	sp.Description = "MPEG2 reconstruction with SUPER_DUALIMIX IDCT"
 	sp.TM3270Only = true
-	return sp
+	return sp, nil
 }
 
-func mpeg2Spec(p Params, s mpeg2.Stream) *Spec { return mpeg2SpecOpt(p, s, false) }
+func mpeg2Spec(p Params, s mpeg2.Stream) (*Spec, error) { return mpeg2SpecOpt(p, s, false) }
 
-func mpeg2SpecOpt(p Params, s mpeg2.Stream, useSuper bool) *Spec {
+func mpeg2SpecOpt(p Params, s mpeg2.Stream, useSuper bool) (*Spec, error) {
 	var layout *mpeg2.Layout
 	var initRef *mpeg2.ExpectedFrames
-	pr, args := buildMpeg2KernelOpt(p, useSuper)
+	pr, args, err := buildMpeg2KernelOpt(p, useSuper)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", s.Name, err)
+	}
 	return &Spec{
 		Name:        s.Name,
 		Description: "MPEG2 decoder reconstruction (" + s.Name + ")",
 		Prog:        pr,
 		Args:        args,
-		Init: func(m *mem.Func) {
+		Init: func(m *mem.Func) error {
 			l, err := mpeg2.Build(m, p.Mpeg2W, p.Mpeg2H, s)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("workloads: %s init: %w", s.Name, err)
 			}
 			layout = l
 			initRef = mpeg2.SnapshotRef(m, l)
+			return nil
 		},
 		Check: func(m *mem.Func) error {
+			if layout == nil {
+				return fmt.Errorf("workloads: %s: Check before Init", s.Name)
+			}
 			want := mpeg2.Expected(initRef, m, layout, frames(p))
 			yb, cbb, crb := layout.FinalBases(frames(p))
 			if err := checkRegion(m, yb, want.Y, s.Name+" luma"); err != nil {
@@ -64,7 +76,7 @@ func mpeg2SpecOpt(p Params, s mpeg2.Stream, useSuper bool) *Spec {
 			}
 			return checkRegion(m, crb, want.Cr, s.Name+" Cr")
 		},
-	}
+	}, nil
 }
 
 // Memory alias groups of the decoder kernel.
@@ -229,9 +241,7 @@ func (r *mpeg2Regs) emitCopy(rowRef, rowOut, strideReg prog.VReg, rows, words in
 	}
 }
 
-// buildMpeg2Kernel emits the reconstruction loop. The layout addresses
-// are fixed constants shared with mpeg2.Build, so the argument registers
-// bind statically.
+// frames returns the chained frame count (at least 1).
 func frames(p Params) int {
 	if p.Mpeg2Frames > 0 {
 		return p.Mpeg2Frames
@@ -239,12 +249,8 @@ func frames(p Params) int {
 	return 1
 }
 
-func buildMpeg2Kernel(p Params) (*prog.Program, map[prog.VReg]uint32) {
-	return buildMpeg2KernelOpt(p, false)
-}
-
 // buildMpeg2KernelOpt optionally uses SUPER_DUALIMIX in the IDCT.
-func buildMpeg2KernelOpt(p Params, useSuper bool) (*prog.Program, map[prog.VReg]uint32) {
+func buildMpeg2KernelOpt(p Params, useSuper bool) (*prog.Program, map[prog.VReg]uint32, error) {
 	w, h := p.Mpeg2W, p.Mpeg2H
 	stride := int32(w)
 	cstride := stride / 2
@@ -421,11 +427,10 @@ func buildMpeg2KernelOpt(p Params, useSuper bool) (*prog.Program, map[prog.VReg]
 	pr := b.MustProgram()
 
 	// The layout addresses are package constants of internal/mpeg2:
-	// bind them by building a probe layout.
-	probe := mem.NewFunc()
-	l, err := mpeg2.Build(probe, 16, 16, mpeg2.StreamC)
+	// bind them from a probe layout (no memory image needed).
+	l, err := mpeg2.NewLayout(p.Mpeg2W, p.Mpeg2H)
 	if err != nil {
-		panic(err)
+		return nil, nil, err
 	}
 	args := map[prog.VReg]uint32{
 		// Decremented before the loop-back test, so it starts at the
@@ -443,5 +448,5 @@ func buildMpeg2KernelOpt(p Params, useSuper bool) (*prog.Program, map[prog.VReg]
 		scr1:     l.Scratch,
 		scr2:     l.Scratch + 128,
 	}
-	return pr, args
+	return pr, args, nil
 }

@@ -69,9 +69,10 @@ func FilmDet(p Params) *Spec {
 		Args: map[prog.VReg]uint32{
 			aPtr: fieldABase, bPtr: fieldBBase, res: filmResBase, cnt: uint32(n),
 		},
-		Init: func(m *mem.Func) {
+		Init: func(m *mem.Func) error {
 			video.FillTestPattern(m, video.NewFrame(fieldABase, p.ImageW, p.FieldH), 71)
 			video.FillTestPattern(m, video.NewFrame(fieldBBase, p.ImageW, p.FieldH), 72)
+			return nil
 		},
 		Check: func(m *mem.Func) error {
 			var sad, exceed uint32
@@ -135,10 +136,11 @@ func MajoritySel(p Params) *Spec {
 			aPtr: fieldABase, bPtr: fieldBBase, cPtr: fieldCBase, oPtr: deintBase,
 			cnt: uint32(n),
 		},
-		Init: func(m *mem.Func) {
+		Init: func(m *mem.Func) error {
 			video.FillTestPattern(m, video.NewFrame(fieldABase, p.ImageW, p.FieldH), 81)
 			video.FillTestPattern(m, video.NewFrame(fieldBBase, p.ImageW, p.FieldH), 82)
 			video.FillTestPattern(m, video.NewFrame(fieldCBase, p.ImageW, p.FieldH), 83)
+			return nil
 		},
 		Check: func(m *mem.Func) error {
 			for i := 0; i < n; i++ {

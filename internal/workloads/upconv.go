@@ -123,13 +123,14 @@ func Upconv(p Params, pf bool) *Spec {
 			prevPtr: upPrevBase, nextPtr: upNextBase,
 			outPtr: upOutBase, mvPtr: upMVBase,
 		},
-		Init: func(m *mem.Func) {
+		Init: func(m *mem.Func) error {
 			video.FillTestPattern(m, video.NewFrame(upPrevBase, w, h), 61)
 			video.FillTestPattern(m, video.NewFrame(upNextBase, w, h), 62)
 			for i, mv := range clamped {
 				m.Store(upMVBase+uint32(4*i), 2, uint64(uint16(int16(mv[0]))))
 				m.Store(upMVBase+uint32(4*i)+2, 2, uint64(uint16(int16(mv[1]))))
 			}
+			return nil
 		},
 		Check: func(m *mem.Func) error {
 			for i, mv := range clamped {

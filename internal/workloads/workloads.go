@@ -17,8 +17,9 @@ type Spec struct {
 	Name        string
 	Description string
 	Prog        *prog.Program
-	// Init populates the memory image (inputs, tables).
-	Init func(m *mem.Func)
+	// Init populates the memory image (inputs, tables). It reports
+	// input-generation failures instead of panicking.
+	Init func(m *mem.Func) error
 	// Args are the kernel argument registers.
 	Args map[prog.VReg]uint32
 	// Check validates the outputs against the Go reference.
@@ -71,23 +72,27 @@ func Small() Params {
 	}
 }
 
-// Table5 returns the Figure 7 evaluation set in paper order. These
+// Table5Names lists the Figure 7 evaluation set in paper order. These
 // kernels use only the common TriMedia ISA ("optimized for the TM3260,
 // re-compiled for the TM3270 without modification").
-func Table5(p Params) []*Spec {
-	return []*Spec{
-		Memset(p),
-		Memcpy(p),
-		Filter(p),
-		RGB2YUV(p),
-		RGB2CMYK(p),
-		RGB2YIQ(p),
-		Mpeg2A(p),
-		Mpeg2B(p),
-		Mpeg2C(p),
-		FilmDet(p),
-		MajoritySel(p),
+func Table5Names() []string {
+	return []string{
+		"memset", "memcpy", "filter", "rgb2yuv", "rgb2cmyk", "rgb2yiq",
+		"mpeg2_a", "mpeg2_b", "mpeg2_c", "filmdet", "majority_sel",
 	}
+}
+
+// Table5 builds the Figure 7 evaluation set in paper order.
+func Table5(p Params) ([]*Spec, error) {
+	var set []*Spec
+	for _, name := range Table5Names() {
+		w, err := ByName(name, p)
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, w)
+	}
+	return set, nil
 }
 
 func checkRegion(m *mem.Func, base uint32, want []byte, what string) error {
@@ -144,13 +149,13 @@ func ByName(name string, p Params) (*Spec, error) {
 	case "rgb2yiq":
 		return RGB2YIQ(p), nil
 	case "mpeg2_a":
-		return Mpeg2A(p), nil
+		return Mpeg2A(p)
 	case "mpeg2_b":
-		return Mpeg2B(p), nil
+		return Mpeg2B(p)
 	case "mpeg2_c":
-		return Mpeg2C(p), nil
+		return Mpeg2C(p)
 	case "mpeg2_super":
-		return Mpeg2Super(p), nil
+		return Mpeg2Super(p)
 	case "filmdet":
 		return FilmDet(p), nil
 	case "majority_sel":

@@ -12,6 +12,28 @@ import (
 	"tm3270/internal/workloads"
 )
 
+// mustBuild unwraps a fallible workload constructor:
+// mustBuild(t)(workloads.Mpeg2A(p)).
+func mustBuild(t *testing.T) func(*workloads.Spec, error) *workloads.Spec {
+	return func(w *workloads.Spec, err error) *workloads.Spec {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+}
+
+// mustTable5 builds the Figure 7 set.
+func mustTable5(t *testing.T, p workloads.Params) []*workloads.Spec {
+	t.Helper()
+	set, err := workloads.Table5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
 // runOn compiles and executes a workload on the machine model for a
 // target and validates its output with the workload's own check.
 func runOn(t *testing.T, w *workloads.Spec, tgt config.Target) *tmsim.Machine {
@@ -26,7 +48,9 @@ func runOn(t *testing.T, w *workloads.Spec, tgt config.Target) *tmsim.Machine {
 	}
 	image := mem.NewFunc()
 	if w.Init != nil {
-		w.Init(image)
+		if err := w.Init(image); err != nil {
+			t.Fatalf("%s: init: %v", w.Name, err)
+		}
 	}
 	m, err := tmsim.New(code, rm, image)
 	if err != nil {
@@ -49,7 +73,9 @@ func runReference(t *testing.T, w *workloads.Spec) {
 	t.Helper()
 	image := mem.NewFunc()
 	if w.Init != nil {
-		w.Init(image)
+		if err := w.Init(image); err != nil {
+			t.Fatalf("%s: init: %v", w.Name, err)
+		}
 	}
 	in := prog.NewInterp(w.Prog, image)
 	in.MaxOps = 500_000_000
@@ -67,7 +93,7 @@ func runReference(t *testing.T, w *workloads.Spec) {
 // TestTable5ReferenceSemantics vets every Figure 7 kernel against its
 // pure-Go reference under sequential semantics.
 func TestTable5ReferenceSemantics(t *testing.T) {
-	for _, w := range workloads.Table5(workloads.Small()) {
+	for _, w := range mustTable5(t, workloads.Small()) {
 		w := w
 		t.Run(w.Name, func(t *testing.T) { runReference(t, w) })
 	}
@@ -77,7 +103,7 @@ func TestTable5ReferenceSemantics(t *testing.T) {
 // evaluation configurations of the paper.
 func TestTable5OnAllConfigs(t *testing.T) {
 	targets := []config.Target{config.ConfigA(), config.ConfigB(), config.ConfigC(), config.ConfigD()}
-	for _, w := range workloads.Table5(workloads.Small()) {
+	for _, w := range mustTable5(t, workloads.Small()) {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			for _, tgt := range targets {
@@ -93,7 +119,7 @@ func TestTable5OnAllConfigs(t *testing.T) {
 // TestWorkloadsFitRegisterFile: every kernel must allocate within the
 // 128-entry register file (the paper's no-spill discipline).
 func TestWorkloadsFitRegisterFile(t *testing.T) {
-	for _, w := range workloads.Table5(workloads.Small()) {
+	for _, w := range mustTable5(t, workloads.Small()) {
 		if _, err := regalloc.Allocate(w.Prog); err != nil {
 			t.Errorf("%s: %v", w.Name, err)
 		}
@@ -132,8 +158,8 @@ func TestMpeg2CacheSensitivity(t *testing.T) {
 	p := workloads.Small()
 	p.Mpeg2W, p.Mpeg2H = 320, 96 // wider than the 16KB cache can hold
 	tgt := config.ConfigB()
-	ma := runOn(t, workloads.Mpeg2A(p), tgt)
-	mc := runOn(t, workloads.Mpeg2C(p), tgt)
+	ma := runOn(t, mustBuild(t)(workloads.Mpeg2A(p)), tgt)
+	mc := runOn(t, mustBuild(t)(workloads.Mpeg2C(p)), tgt)
 	missA := ma.DC.Stats.LoadMisses
 	missC := mc.DC.Stats.LoadMisses
 	if missA <= missC {
@@ -273,8 +299,8 @@ func TestVerifyAllKernels(t *testing.T) {
 // pipeline).
 func TestMpeg2SuperIDCT(t *testing.T) {
 	p := workloads.Small()
-	base := runOn(t, workloads.Mpeg2B(p), config.ConfigD())
-	sup := runOn(t, workloads.Mpeg2Super(p), config.ConfigD())
+	base := runOn(t, mustBuild(t)(workloads.Mpeg2B(p)), config.ConfigD())
+	sup := runOn(t, mustBuild(t)(workloads.Mpeg2Super(p)), config.ConfigD())
 	if sup.Stats.ExecOps >= base.Stats.ExecOps {
 		t.Errorf("super variant executes %d ops, base %d: no reduction",
 			sup.Stats.ExecOps, base.Stats.ExecOps)
@@ -287,7 +313,7 @@ func TestMpeg2SuperIDCT(t *testing.T) {
 		t.Errorf("super variant instruction count regressed too far (%d vs %d)",
 			sup.Stats.Instrs, base.Stats.Instrs)
 	}
-	if _, err := sched.Schedule(workloads.Mpeg2Super(p).Prog, config.ConfigA()); err == nil {
+	if _, err := sched.Schedule(mustBuild(t)(workloads.Mpeg2Super(p)).Prog, config.ConfigA()); err == nil {
 		t.Error("TM3260 accepted SUPER_DUALIMIX")
 	}
 }

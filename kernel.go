@@ -27,9 +27,10 @@ const (
 func NewKernel(name string) *Builder { return prog.NewBuilder(name) }
 
 // NewWorkload wraps a built program into a runnable workload. init may
-// be nil; check may be nil to skip output validation.
+// be nil; check may be nil to skip output validation. init reports
+// input-generation failures through its error instead of panicking.
 func NewWorkload(name string, p *Program, args map[VReg]uint32,
-	init func(*Memory), check func(*Memory) error) *Workload {
+	init func(*Memory) error, check func(*Memory) error) *Workload {
 	return &workloads.Spec{
 		Name:  name,
 		Prog:  p,

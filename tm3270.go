@@ -63,8 +63,8 @@ func FullParams() Params { return workloads.Full() }
 // SmallParams returns reduced sizes with identical structure.
 func SmallParams() Params { return workloads.Small() }
 
-// Table5 returns the Figure 7 workload set (Table 5 of the paper).
-func Table5(p Params) []*Workload { return workloads.Table5(p) }
+// Table5 builds the Figure 7 workload set (Table 5 of the paper).
+func Table5(p Params) ([]*Workload, error) { return workloads.Table5(p) }
 
 // Stats is the execution report of one run.
 type Stats = tmsim.Stats
@@ -131,7 +131,9 @@ func Run(w *Workload, t Target) (*Result, error) {
 	}
 	image := mem.NewFunc()
 	if w.Init != nil {
-		w.Init(image)
+		if err := w.Init(image); err != nil {
+			return nil, fmt.Errorf("%s on %s: init: %w", w.Name, t.Name, err)
+		}
 	}
 	m, err := tmsim.New(code, rm, image)
 	if err != nil {
@@ -164,7 +166,9 @@ func Run(w *Workload, t Target) (*Result, error) {
 func Reference(w *Workload) error {
 	image := mem.NewFunc()
 	if w.Init != nil {
-		w.Init(image)
+		if err := w.Init(image); err != nil {
+			return fmt.Errorf("%s (reference): init: %w", w.Name, err)
+		}
 	}
 	in := prog.NewInterp(w.Prog, image)
 	in.MaxOps = 2_000_000_000

@@ -31,11 +31,12 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	const N = 100
 	w := tm3270.NewWorkload("saxpy", p,
 		map[tm3270.VReg]uint32{x: 0x1000, y: 0x8000, n: N, a: 3},
-		func(m *tm3270.Memory) {
+		func(m *tm3270.Memory) error {
 			for k := 0; k < N; k++ {
 				m.Store(0x1000+uint32(4*k), 4, uint64(k))
 				m.Store(0x8000+uint32(4*k), 4, uint64(1000+k))
 			}
+			return nil
 		},
 		func(m *tm3270.Memory) error {
 			for k := 0; k < N; k++ {
@@ -71,7 +72,10 @@ func TestPublicAPIQuickstart(t *testing.T) {
 // public entry points.
 func TestBuiltInWorkloads(t *testing.T) {
 	p := tm3270.SmallParams()
-	set := tm3270.Table5(p)
+	set, err := tm3270.Table5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(set) != 11 {
 		t.Fatalf("Table 5 has %d workloads, want 11", len(set))
 	}
@@ -88,8 +92,11 @@ func TestPowerAndArea(t *testing.T) {
 	if total := area.Total(); total < 8.0 || total > 8.2 {
 		t.Errorf("area = %.2f mm², want ~8.08", total)
 	}
-	w := tm3270.Table5(tm3270.SmallParams())[0]
-	r, err := tm3270.Run(w, tm3270.ConfigD())
+	set, err := tm3270.Table5(tm3270.SmallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := tm3270.Run(set[0], tm3270.ConfigD())
 	if err != nil {
 		t.Fatal(err)
 	}
