@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench campaign
+.PHONY: check build vet test race fuzz bench campaign bench-json
 
-# Tier-1 gate: vet plus the full test suite under the race detector.
-check: vet race
+# Tier-1 gate: vet, the full test suite under the race detector, and the
+# machine-readable quick bench (written and schema-checked).
+check: vet race bench-json
 
 build:
 	$(GO) build ./...
@@ -25,3 +26,9 @@ bench:
 
 campaign:
 	$(GO) run ./cmd/tm3270bench -faults
+
+# Quick-mode machine-readable bench result. The bench validates the
+# written file (schema version + stall-accounting identity) and fails
+# the build on mismatch.
+bench-json:
+	$(GO) run ./cmd/tm3270bench -quick -json BENCH_quick.json

@@ -1,12 +1,16 @@
 // Command tm3270bench regenerates the paper's tables and figures from
 // the processor model. With no flags it runs the complete evaluation at
 // paper scale; individual experiments select via flags, and -quick runs
-// reduced sizes.
+// reduced sizes. The -json flag writes the versioned machine-readable
+// bench result (per-workload cycles, CPI/OPI and the full telemetry
+// counter snapshot) — the `BENCH_*.json` trajectory format — and
+// schema-checks it after writing.
 //
 // Usage:
 //
-//	tm3270bench [-quick] [-table1] [-table3] [-table4] [-table6]
-//	            [-figure1] [-figure3] [-figure7] [-ablation] [-faults]
+//	tm3270bench [-quick] [-json out.json] [-table1] [-table3] [-table4]
+//	            [-table6] [-figure1] [-figure3] [-figure7] [-ablation]
+//	            [-faults]
 package main
 
 import (
@@ -32,9 +36,10 @@ func main() {
 	ab := flag.Bool("ablation", false, "motion-estimation ablation")
 	sweep := flag.Bool("sweep", false, "cache capacity x line-size design sweep")
 	fc := flag.Bool("faults", false, "seeded fault-injection campaign")
+	jsonOut := flag.String("json", "", "write the machine-readable bench result to this file")
 	flag.Parse()
 
-	all := !(*t1 || *t3 || *t4 || *t6 || *f1 || *f3 || *f7 || *ab || *sweep || *fc)
+	all := !(*t1 || *t3 || *t4 || *t6 || *f1 || *f3 || *f7 || *ab || *sweep || *fc || *jsonOut != "")
 	p := workloads.Full()
 	meW, meH := 352, 288
 	if *quick {
@@ -49,10 +54,32 @@ func main() {
 	run := func(name string, f func() error) {
 		start := time.Now()
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			// Keep the partial campaign timing even on failure.
+			fmt.Fprintf(os.Stderr, "%s: %v (failed after %.1fs)\n",
+				name, err, time.Since(start).Seconds())
 			os.Exit(1)
 		}
 		fmt.Printf("[%s in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	if *jsonOut != "" {
+		run("bench-json", func() error {
+			rep, err := experiments.BenchJSON(p, *quick)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteBenchJSON(*jsonOut, rep); err != nil {
+				return err
+			}
+			// Re-read what landed on disk: the written file is the
+			// artifact the trajectory consumes, so schema-check it, not
+			// the in-memory copy.
+			if _, err := experiments.ReadBenchJSON(*jsonOut); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s: %d workloads on %s\n", *jsonOut, len(rep.Workloads), rep.Target)
+			return nil
+		})
 	}
 
 	if all || *t1 {

@@ -9,17 +9,27 @@
 // flag arms a seeded fault injector (see internal/faults) against the
 // run.
 //
+// Observability: -stats-json dumps the unified counter registry as one
+// JSON object of dotted names; -trace-json writes a Chrome trace-event
+// file (open it in https://ui.perfetto.dev) with per-slot issue events,
+// stall intervals by cause, cache miss/refill/prefetch/CWB events and
+// bus occupancy; -profile N prints the top-N per-PC cycle-attribution
+// hotspots (execute vs fetch-stall vs jump-penalty vs data-stall
+// cycles, the data side split by cause).
+//
 // Usage:
 //
 //	tm3270sim [-config A|B|C|D|tm3260|tm3270] [-full] [-list]
 //	          [-inject kind[:rate[:delay]]] [-seed n] [-deadline d]
-//	          [-strict] [-watchdog n] <workload>
+//	          [-strict] [-watchdog n] [-stats-json file] [-trace-json file]
+//	          [-profile n] <workload>
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -30,6 +40,7 @@ import (
 	"tm3270/internal/power"
 	"tm3270/internal/regalloc"
 	"tm3270/internal/sched"
+	"tm3270/internal/telemetry"
 	"tm3270/internal/tmsim"
 	"tm3270/internal/workloads"
 )
@@ -52,6 +63,9 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "wall-clock execution deadline (0 = none)")
 	strict := flag.Bool("strict", false, "trap on unmapped loads and null-page stores")
 	watchdog := flag.Int64("watchdog", 0, "instruction-count watchdog (0 = default)")
+	statsJSON := flag.String("stats-json", "", "write the counter registry snapshot as JSON (\"-\" = stdout)")
+	traceJSON := flag.String("trace-json", "", "write a Perfetto-loadable trace-event JSON file")
+	profileN := flag.Int("profile", 0, "print the top-N cycle-attribution hotspots")
 	flag.Parse()
 
 	if *list {
@@ -120,6 +134,15 @@ func main() {
 		m.Trace = os.Stdout
 		m.TraceLimit = *traceN
 	}
+	var events *telemetry.Trace
+	if *traceJSON != "" {
+		events = telemetry.NewTrace(0)
+		m.SetEventTrace(events)
+	}
+	var profile *telemetry.Profile
+	if *profileN > 0 {
+		profile = m.EnableProfile()
+	}
 	m.StrictMem = *strict
 	m.Deadline = *deadline
 	if *watchdog > 0 {
@@ -138,11 +161,33 @@ func main() {
 	for v, val := range w.Args {
 		m.SetReg(v, val)
 	}
+	// When a machine-readable dump targets stdout ("-"), keep stdout
+	// pure JSON and divert the human-readable report to stderr.
+	out := io.Writer(os.Stdout)
+	if *statsJSON == "-" || *traceJSON == "-" {
+		out = os.Stderr
+	}
+
 	runErr := m.Run()
 	if inj != nil {
 		inj.Disarm(m)
 		for _, e := range inj.Events {
-			fmt.Printf("injected    %s\n", e.Info)
+			fmt.Fprintf(out, "injected    %s\n", e.Info)
+		}
+	}
+	// The trace and counter dumps are debugging artifacts: emit them
+	// even when the run trapped, so the events leading to the fault are
+	// inspectable in Perfetto.
+	if events != nil {
+		if err := writeFile(*traceJSON, events.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *statsJSON != "" {
+		if err := writeFile(*statsJSON, m.Registry().Snapshot().WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 	if runErr != nil {
@@ -162,28 +207,29 @@ func main() {
 	}
 	s := m.Stats
 
-	fmt.Printf("workload    %s (%s)\n", w.Name, w.Description)
-	fmt.Printf("target      %s @ %d MHz\n", tgt.Name, tgt.FreqMHz)
-	fmt.Printf("code        %d VLIW instructions, %d bytes (%.1f B/instr), %d source ops\n",
+	fmt.Fprintf(out, "workload    %s (%s)\n", w.Name, w.Description)
+	fmt.Fprintf(out, "target      %s @ %d MHz\n", tgt.Name, tgt.FreqMHz)
+	fmt.Fprintf(out, "code        %d VLIW instructions, %d bytes (%.1f B/instr), %d source ops\n",
 		len(code.Instrs), enc.TotalBytes(),
 		float64(enc.TotalBytes())/float64(len(code.Instrs)), code.SrcOps)
-	fmt.Printf("executed    %d instrs, %d ops (%d guarded off)\n",
+	fmt.Fprintf(out, "executed    %d instrs, %d ops (%d guarded off)\n",
 		s.Instrs, s.Ops, s.Ops-s.ExecOps)
-	fmt.Printf("cycles      %d  (CPI %.3f, OPI %.2f)\n", s.Cycles, s.CPI(), s.OPI())
-	fmt.Printf("stalls      fetch %d, data %d\n", s.FetchStalls, s.DataStalls)
-	fmt.Printf("jumps       %d executed, %d taken\n", s.Jumps, s.Taken)
-	fmt.Printf("dcache      %d/%d load hit/miss, %d/%d store hit/miss, %d merges, %d copybacks\n",
+	fmt.Fprintf(out, "cycles      %d  (CPI %.3f, OPI %.2f)\n", s.Cycles, s.CPI(), s.OPI())
+	fmt.Fprintf(out, "stalls      fetch %d, data %d\n", s.FetchStalls, s.DataStalls)
+	fmt.Fprintf(out, "jumps       %d executed, %d taken\n", s.Jumps, s.Taken)
+	fmt.Fprintf(out, "dcache      %d/%d load hit/miss, %d/%d store hit/miss, %d merges, %d copybacks\n",
 		m.DC.Stats.LoadHits, m.DC.Stats.LoadMisses,
 		m.DC.Stats.StoreHits, m.DC.Stats.StoreMisses,
 		m.DC.Stats.MergeMisses, m.DC.Stats.Copybacks)
 	if m.PF != nil {
-		fmt.Printf("prefetch    %d triggers, %d issued, %d useful, %d partial hits\n",
-			m.PF.Triggers, m.DC.Stats.PrefIssued, m.DC.Stats.PrefUseful, m.DC.Stats.PartialHits)
+		ps := m.PF.Stats
+		fmt.Fprintf(out, "prefetch    %d triggers, %d issued, %d useful, %d late, %d dropped, %d evicted\n",
+			ps.Triggers, ps.Issued, ps.Useful, ps.Late, ps.Dropped, ps.Evicted)
 	}
-	fmt.Printf("icache      %d chunks, %d misses\n", m.IC.Stats.Chunks, m.IC.Stats.Misses)
-	fmt.Printf("bus         %d reads / %d writes, %d B in / %d B out\n",
+	fmt.Fprintf(out, "icache      %d chunks, %d misses\n", m.IC.Stats.Chunks, m.IC.Stats.Misses)
+	fmt.Fprintf(out, "bus         %d reads / %d writes, %d B in / %d B out\n",
 		m.BIU.Reads, m.BIU.Writes, m.BIU.BytesRead, m.BIU.BytesWritten)
-	fmt.Printf("time        %.3f ms at %d MHz\n", s.Seconds(&tgt)*1e3, tgt.FreqMHz)
+	fmt.Fprintf(out, "time        %.3f ms at %d MHz\n", s.Seconds(&tgt)*1e3, tgt.FreqMHz)
 
 	act := power.Activity{
 		Utilization:    float64(s.Instrs) / float64(s.Cycles),
@@ -192,7 +238,27 @@ func main() {
 		BusBytesPerCyc: float64(m.BIU.TotalBytes()) / float64(s.Cycles),
 	}
 	if pr, err := power.Power(act, power.NominalVoltage); err == nil {
-		fmt.Printf("power       %.3f mW/MHz at 1.2V -> %.1f mW at %d MHz\n",
+		fmt.Fprintf(out, "power       %.3f mW/MHz at 1.2V -> %.1f mW at %d MHz\n",
 			pr.Total(), pr.MilliWattsAt(float64(tgt.FreqMHz)), tgt.FreqMHz)
 	}
+	if profile != nil {
+		fmt.Fprintln(out)
+		profile.Report(out, *profileN)
+	}
+}
+
+// writeFile streams write to the named file, or stdout for "-".
+func writeFile(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -31,9 +31,9 @@ func main() {
 	report := func(name string, r *tm3270.Result) {
 		fmt.Printf("%-16s %8d cycles  %6d data-stall cycles  %5d load misses",
 			name, r.Stats.Cycles, r.Stats.DataStalls, r.Machine.DC.Stats.LoadMisses)
-		if r.Machine.PF != nil && r.Machine.PF.Issued > 0 {
-			fmt.Printf("  %5d prefetches (%d useful)",
-				r.Machine.DC.Stats.PrefIssued, r.Machine.DC.Stats.PrefUseful)
+		if r.Machine.PF != nil && r.Machine.PF.Stats.Issued > 0 {
+			fmt.Printf("  %5d prefetches (%d useful, %d late)",
+				r.Machine.PF.Stats.Issued, r.Machine.PF.Stats.Useful, r.Machine.PF.Stats.Late)
 		}
 		fmt.Println()
 	}

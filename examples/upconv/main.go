@@ -33,8 +33,8 @@ func main() {
 	rep := func(name string, r *tm3270.Result) {
 		fmt.Printf("%-14s %9d cycles  %8d data stalls  %6d load misses",
 			name, r.Stats.Cycles, r.Stats.DataStalls, r.Machine.DC.Stats.LoadMisses)
-		if r.Machine.PF != nil && r.Machine.PF.Issued > 0 {
-			fmt.Printf("  %5d prefetches", r.Machine.PF.Issued)
+		if r.Machine.PF != nil && r.Machine.PF.Stats.Issued > 0 {
+			fmt.Printf("  %5d prefetches", r.Machine.PF.Stats.Issued)
 		}
 		fmt.Println()
 	}

@@ -17,6 +17,7 @@ import (
 	"tm3270/internal/config"
 	"tm3270/internal/mem"
 	"tm3270/internal/prefetch"
+	"tm3270/internal/telemetry"
 )
 
 // Fault is the data-cache fault-injection surface. Injectors implement
@@ -41,7 +42,20 @@ const (
 	Alloc
 )
 
-// Stats are the data-cache event counters.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return "alloc"
+	}
+}
+
+// Stats are the data-cache event counters. The three Stall* fields
+// split every stall cycle the cache returns by cause; their sum always
+// equals the total stall cycles handed back from Access.
 type Stats struct {
 	LoadHits     int64
 	LoadMisses   int64
@@ -52,9 +66,14 @@ type Stats struct {
 	PartialHits  int64 // hits on lines still in flight (prefetch/fetch)
 	MergeMisses  int64 // loads hitting allocated lines with invalid bytes
 	LineCrossers int64 // non-aligned accesses spanning two lines
-	PrefIssued   int64
-	PrefUseful   int64 // demand accesses that found a prefetched line
+
+	StallMiss     int64 // stall cycles servicing demand misses and merges
+	StallInFlight int64 // stall cycles waiting on an in-flight fill
+	StallCWB      int64 // stall cycles on cache-write-buffer backpressure
 }
+
+// StallTotal is the sum of the per-cause stall cycles.
+func (s *Stats) StallTotal() int64 { return s.StallMiss + s.StallInFlight + s.StallCWB }
 
 // DCache is the data-cache timing model.
 type DCache struct {
@@ -67,6 +86,10 @@ type DCache struct {
 
 	// Fault, when non-nil, intercepts prefetches and observes fills.
 	Fault Fault
+
+	// Events, when non-nil, receives miss/refill/prefetch/CWB trace
+	// events on the dcache, prefetch and CWB lanes.
+	Events *telemetry.Trace
 
 	// cwb holds the busy-until times of the cache write buffer entries:
 	// a write-missing store occupies an entry until its line fetch
@@ -92,6 +115,10 @@ func New(t *config.Target, biu *mem.BIU, pf *prefetch.Unit) *DCache {
 
 // Array exposes the underlying arrays (tests).
 func (d *DCache) Array() *cache.Cache { return d.arr }
+
+// PF exposes the attached prefetch unit, nil without one (tests,
+// telemetry wiring).
+func (d *DCache) PF() *prefetch.Unit { return d.pf }
 
 // Access models one memory operation at CPU cycle now and returns the
 // stall cycles it adds. Non-aligned accesses spanning a line boundary
@@ -127,17 +154,29 @@ func (d *DCache) one(now int64, addr uint32, size int, lineAddr uint32, kind Kin
 				// In-flight fill (prefetch or write-fetch): partial hit.
 				d.Stats.PartialHits++
 				stall = l.ReadyAt - now
+				d.Stats.StallInFlight += stall
+				if d.pf != nil && d.prefetched[lineAddr] {
+					// Prefetch issued but not timely: count it late
+					// (once) rather than useful.
+					d.pf.Stats.Late++
+					delete(d.prefetched, lineAddr)
+				}
+				d.Events.Complete(telemetry.LaneDCache, "stall:inflight", "dstall",
+					now, stall, map[string]any{"line": lineAddr})
 			}
 			if !d.arr.BytesValid(l, addr, size) {
 				// Allocated line with holes: fetch and merge.
 				d.Stats.MergeMisses++
 				done := d.biu.Read(d.t, now+stall, d.t.DCache.LineBytes, false)
 				d.arr.SetAllValid(l)
+				d.Stats.StallMiss += done - (now + stall)
+				d.Events.Complete(telemetry.LaneDCache, "merge-fetch", "dmiss",
+					now+stall, done-(now+stall), map[string]any{"line": lineAddr})
 				stall = done - now
 			} else {
 				d.Stats.LoadHits++
-				if d.prefetched[lineAddr] {
-					d.Stats.PrefUseful++
+				if d.pf != nil && d.prefetched[lineAddr] {
+					d.pf.Stats.Useful++
 					delete(d.prefetched, lineAddr)
 				}
 			}
@@ -152,6 +191,9 @@ func (d *DCache) one(now int64, addr uint32, size int, lineAddr uint32, kind Kin
 		if d.Fault != nil {
 			d.Fault.Fill(lineAddr)
 		}
+		d.Stats.StallMiss += done - now
+		d.Events.Complete(telemetry.LaneDCache, "load-miss", "dmiss",
+			now, done-now, map[string]any{"line": lineAddr, "addr": addr})
 		return done - now
 
 	default: // Store
@@ -190,6 +232,9 @@ func (d *DCache) one(now int64, addr uint32, size int, lineAddr uint32, kind Kin
 		}
 		if d.cwb[e] > now {
 			stall = d.cwb[e] - now
+			d.Stats.StallCWB += stall
+			d.Events.Complete(telemetry.LaneCWB, "stall:cwb-full", "dstall",
+				now, stall, map[string]any{"line": lineAddr})
 		}
 		d.arr.Fill(v, lineAddr, true)
 		done := d.biu.Read(d.t, now+stall, d.t.DCache.LineBytes, false)
@@ -199,6 +244,8 @@ func (d *DCache) one(now int64, addr uint32, size int, lineAddr uint32, kind Kin
 		v.ReadyAt = done
 		v.Dirty = true
 		d.cwb[e] = done
+		d.Events.Complete(telemetry.LaneCWB, "cwb-park", "cwb",
+			now+stall, done-(now+stall), map[string]any{"line": lineAddr, "entry": e})
 		return stall
 	}
 }
@@ -230,7 +277,14 @@ func (d *DCache) evictFor(now int64, lineAddr uint32) {
 		d.Stats.Copybacks++
 	}
 	if v.Valid {
-		delete(d.prefetched, d.arr.VictimAddr(v, lineAddr))
+		va := d.arr.VictimAddr(v, lineAddr)
+		if d.prefetched[va] {
+			// The prefetched line never saw a demand access.
+			if d.pf != nil {
+				d.pf.Stats.Evicted++
+			}
+			delete(d.prefetched, va)
+		}
 	}
 }
 
@@ -243,12 +297,14 @@ func (d *DCache) maybePrefetch(now int64, loadAddr uint32) {
 	}
 	lineAddr := d.arr.LineAddr(cand)
 	if _, hit := d.arr.Lookup(lineAddr); hit {
+		d.pf.Stats.Dropped++
 		return
 	}
 	var extra int64
 	if d.Fault != nil {
 		drop, delay := d.Fault.Prefetch(lineAddr)
 		if drop {
+			d.pf.Stats.Dropped++
 			return
 		}
 		extra = delay
@@ -258,6 +314,7 @@ func (d *DCache) maybePrefetch(now int64, loadAddr uint32) {
 	d.arr.Fill(v, lineAddr, true)
 	v.ReadyAt = d.biu.Read(d.t, now, d.t.DCache.LineBytes, true) + extra
 	d.prefetched[lineAddr] = true
-	d.pf.Issued++
-	d.Stats.PrefIssued++
+	d.pf.Stats.Issued++
+	d.Events.Complete(telemetry.LanePrefetch, "prefetch-fill", "prefetch",
+		now, v.ReadyAt-now, map[string]any{"line": lineAddr, "trigger": loadAddr})
 }

@@ -206,10 +206,10 @@ func TestRegionPrefetchHidesMisses(t *testing.T) {
 	if misses != 1 {
 		t.Errorf("misses with prefetch = %d, want 1 (only the cold first line)", misses)
 	}
-	if dc.Stats.PrefIssued == 0 {
+	if pf.Stats.Issued == 0 {
 		t.Error("no prefetches issued")
 	}
-	if dc.Stats.PrefUseful == 0 {
+	if pf.Stats.Useful == 0 {
 		t.Error("no useful prefetches recorded")
 	}
 

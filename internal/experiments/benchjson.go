@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"tm3270/internal/config"
+	"tm3270/internal/telemetry"
+	"tm3270/internal/tmsim"
+	"tm3270/internal/workloads"
+)
+
+// BenchSchema versions the machine-readable bench format. Bump it on
+// any incompatible change to BenchReport; trajectory consumers key on
+// it before parsing.
+const BenchSchema = "tm3270-bench/v1"
+
+// BenchReport is the versioned machine-readable result of a bench run:
+// per-workload cycle counts, CPI/OPI and the full telemetry snapshot.
+// It is the `BENCH_*.json` trajectory format.
+type BenchReport struct {
+	Schema    string           `json:"schema"`
+	Target    string           `json:"target"`
+	Quick     bool             `json:"quick"`
+	Workloads []WorkloadResult `json:"workloads"`
+}
+
+// WorkloadResult is one workload's entry in the report.
+type WorkloadResult struct {
+	Name     string             `json:"name"`
+	Cycles   int64              `json:"cycles"`
+	Instrs   int64              `json:"instrs"`
+	CPI      float64            `json:"cpi"`
+	OPI      float64            `json:"opi"`
+	Seconds  float64            `json:"seconds"`
+	Counters telemetry.Snapshot `json:"counters"`
+}
+
+// BenchWorkloadNames is the workload set of the JSON bench: the Figure 7
+// evaluation kernels plus the prefetch-sensitive extras, so the
+// trajectory captures both core IPC and memory-system timeliness.
+func BenchWorkloadNames() []string {
+	return append(workloads.Table5Names(), "mp3_synth", "blockwalk", "blockwalk_pf")
+}
+
+// BenchJSON runs the bench workload set on the TM3270 (configuration D)
+// and assembles the report.
+func BenchJSON(p workloads.Params, quick bool) (*BenchReport, error) {
+	t := config.ConfigD()
+	rep := &BenchReport{Schema: BenchSchema, Target: t.Name, Quick: quick}
+	for _, name := range BenchWorkloadNames() {
+		w, err := workloads.ByName(name, p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Run(w, t)
+		if err != nil {
+			return nil, err
+		}
+		rep.Workloads = append(rep.Workloads, WorkloadResult{
+			Name:     name,
+			Cycles:   r.Stats.Cycles,
+			Instrs:   r.Stats.Instrs,
+			CPI:      r.Stats.CPI(),
+			OPI:      r.Stats.OPI(),
+			Seconds:  r.Seconds(),
+			Counters: r.Machine.Registry().Snapshot(),
+		})
+	}
+	return rep, nil
+}
+
+// Validate schema-checks a report: version, non-empty workload set, and
+// the cycle-accounting identity that the disjoint per-cause stall
+// counters sum to cycles minus issue cycles for every workload.
+func (r *BenchReport) Validate() error {
+	if r.Schema != BenchSchema {
+		return fmt.Errorf("benchjson: schema %q, want %q", r.Schema, BenchSchema)
+	}
+	if len(r.Workloads) == 0 {
+		return fmt.Errorf("benchjson: no workloads")
+	}
+	for _, w := range r.Workloads {
+		if w.Name == "" || w.Cycles <= 0 || w.Instrs <= 0 {
+			return fmt.Errorf("benchjson: %q: degenerate result (%d cycles, %d instrs)",
+				w.Name, w.Cycles, w.Instrs)
+		}
+		if w.Counters.Get("sim.cycles") != w.Cycles {
+			return fmt.Errorf("benchjson: %q: counter sim.cycles = %d, field cycles = %d",
+				w.Name, w.Counters.Get("sim.cycles"), w.Cycles)
+		}
+		stalls := w.Counters.Sum(tmsim.StallCounterNames...)
+		if want := w.Cycles - w.Instrs; stalls != want {
+			return fmt.Errorf("benchjson: %q: per-cause stalls sum to %d, want cycles-instrs = %d",
+				w.Name, stalls, want)
+		}
+	}
+	return nil
+}
+
+// WriteBenchJSON marshals the report to path (indented, trailing
+// newline) after validating it.
+func WriteBenchJSON(path string, r *BenchReport) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchJSON loads and validates a report written by WriteBenchJSON.
+func ReadBenchJSON(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -326,9 +326,9 @@ func Figure3(w io.Writer, p workloads.Params) error {
 	fmt.Fprintf(w, "Figure 3: 4x4 block walk over a %dx%d image\n", p.ImageW, p.ImageH)
 	fmt.Fprintf(w, "  no prefetch:   %8d cycles, %5d load misses, %6d stall cycles\n",
 		off.Stats.Cycles, off.Machine.DC.Stats.LoadMisses, off.Stats.DataStalls)
-	fmt.Fprintf(w, "  region stride: %8d cycles, %5d load misses, %6d stall cycles, %d prefetches (%d useful)\n",
+	fmt.Fprintf(w, "  region stride: %8d cycles, %5d load misses, %6d stall cycles, %d prefetches (%d useful, %d late)\n",
 		on.Stats.Cycles, on.Machine.DC.Stats.LoadMisses, on.Stats.DataStalls,
-		on.Machine.DC.Stats.PrefIssued, on.Machine.DC.Stats.PrefUseful)
+		on.Machine.PF.Stats.Issued, on.Machine.PF.Stats.Useful, on.Machine.PF.Stats.Late)
 	fmt.Fprintf(w, "  speedup: %.2fx\n", float64(off.Stats.Cycles)/float64(on.Stats.Cycles))
 	return nil
 }

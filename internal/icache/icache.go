@@ -8,6 +8,7 @@ import (
 	"tm3270/internal/cache"
 	"tm3270/internal/config"
 	"tm3270/internal/mem"
+	"tm3270/internal/telemetry"
 )
 
 // ChunkBytes is the fetch width: one 32-byte aligned chunk per cycle.
@@ -30,6 +31,10 @@ type ICache struct {
 	// standing in for the instruction buffer.
 	lastChunk uint32
 	haveLast  bool
+
+	// Events, when non-nil, receives miss/refill trace events on the
+	// fetch lane.
+	Events *telemetry.Trace
 
 	Stats Stats
 }
@@ -74,6 +79,8 @@ func (ic *ICache) fetchChunk(now int64, chunk uint32) int64 {
 	v := ic.arr.Victim(lineAddr)
 	ic.arr.Fill(v, lineAddr, true)
 	done := ic.biu.Read(ic.t, now, ic.t.ICache.LineBytes, false)
+	ic.Events.Complete(telemetry.LaneFetch, "imiss-refill", "imiss",
+		now, done-now, map[string]any{"line": lineAddr})
 	return done - now
 }
 

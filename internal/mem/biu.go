@@ -1,6 +1,9 @@
 package mem
 
-import "tm3270/internal/config"
+import (
+	"tm3270/internal/config"
+	"tm3270/internal/telemetry"
+)
 
 // ReadFault injects extra latency into bus reads (DDR refresh storms,
 // arbitration spikes). Fault injectors implement it; nil is fault-free.
@@ -22,6 +25,10 @@ type BIU struct {
 
 	// Fault, when non-nil, adds injected latency to reads.
 	Fault ReadFault
+
+	// Events, when non-nil, receives one occupancy interval per bus
+	// transaction on the bus lane.
+	Events *telemetry.Trace
 
 	// Statistics.
 	Reads, Writes             int64
@@ -58,11 +65,15 @@ func (b *BIU) Read(t *config.Target, now int64, bytes int, prefetch bool) int64 
 	b.busyTill = start + b.overhead + tr
 	b.Reads++
 	b.BytesRead += int64(bytes)
+	name := "read:demand"
 	if prefetch {
 		b.PrefetchRead++
+		name = "read:prefetch"
 	} else {
 		b.DemandReads++
 	}
+	b.Events.Complete(telemetry.LaneBus, name, "bus",
+		start, b.busyTill-start, map[string]any{"bytes": bytes})
 	return start + b.latency + tr
 }
 
@@ -74,6 +85,8 @@ func (b *BIU) Write(t *config.Target, now int64, bytes int) int64 {
 	b.busyTill = start + b.overhead + tr
 	b.Writes++
 	b.BytesWritten += int64(bytes)
+	b.Events.Complete(telemetry.LaneBus, "write:copyback", "bus",
+		start, b.busyTill-start, map[string]any{"bytes": bytes})
 	return start + tr
 }
 

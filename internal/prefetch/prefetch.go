@@ -35,13 +35,24 @@ func (r *Region) Contains(addr uint32) bool {
 	return r.Active() && addr >= r.Start && addr < r.End
 }
 
+// Stats is the coherent prefetch counter family. The data cache owns
+// issue and timeliness classification (it sees demand accesses land on
+// prefetched lines) but accounts it here, so `prefetch.*` is one place:
+// Useful + Late <= Issued, and Issued + Dropped == filtered candidates.
+type Stats struct {
+	Triggers int64 // loads that hit a programmed region
+	Issued   int64 // prefetches sent to the refill engine
+	Useful   int64 // demand accesses that found a prefetched line ready
+	Late     int64 // demand accesses that caught a prefetched line still in flight
+	Dropped  int64 // candidates filtered (line already present, or fault-dropped)
+	Evicted  int64 // prefetched lines victimized before any demand use
+}
+
 // Unit is the prefetch unit state.
 type Unit struct {
 	Regions [NumRegions]Region
 
-	// Statistics.
-	Triggers int64 // loads that hit a region
-	Issued   int64 // prefetches sent to the refill engine
+	Stats Stats
 }
 
 // IsMMIO reports whether addr falls in the configuration register block.
@@ -90,7 +101,7 @@ func (u *Unit) LoadMMIO(addr uint32) uint32 {
 func (u *Unit) Candidate(addr uint32) (uint32, bool) {
 	for i := range u.Regions {
 		if u.Regions[i].Contains(addr) {
-			u.Triggers++
+			u.Stats.Triggers++
 			return addr + u.Regions[i].Stride, true
 		}
 	}

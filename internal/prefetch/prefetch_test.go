@@ -38,8 +38,8 @@ func TestCandidate(t *testing.T) {
 	if !ok || addr != 0x1880 {
 		t.Errorf("candidate = %#x,%v, want 0x1880", addr, ok)
 	}
-	if u.Triggers != 1 {
-		t.Errorf("triggers = %d", u.Triggers)
+	if u.Stats.Triggers != 1 {
+		t.Errorf("triggers = %d", u.Stats.Triggers)
 	}
 }
 

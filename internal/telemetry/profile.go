@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Cause classifies where a cycle went. Every simulated cycle is
+// attributed to exactly one cause at exactly one PC, so the profile's
+// grand total reconciles with the run's cycle count.
+type Cause int
+
+const (
+	// CauseExecute is the one issue cycle of each VLIW instruction.
+	CauseExecute Cause = iota
+	// CauseFetch is an instruction-fetch stall on the sequential path.
+	CauseFetch
+	// CauseJump is a fetch stall on the first fetch after a taken jump
+	// (the discarded instruction buffer: the dynamic jump penalty).
+	CauseJump
+	// CauseDataMiss is a data-side stall servicing a miss (demand fill
+	// or merge fetch).
+	CauseDataMiss
+	// CauseDataInFlight is a data-side stall waiting on a line already
+	// in flight (prefetch or write-miss fetch: a partial hit).
+	CauseDataInFlight
+	// CauseDataCWB is a data-side stall on cache-write-buffer
+	// backpressure (every CWB entry occupied).
+	CauseDataCWB
+
+	// NumCauses bounds the cause enum.
+	NumCauses
+)
+
+var causeNames = [NumCauses]string{
+	"execute", "fetch", "jump", "data.miss", "data.inflight", "data.cwb",
+}
+
+func (c Cause) String() string {
+	if c < 0 || c >= NumCauses {
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+	return causeNames[c]
+}
+
+// Profile is a per-PC cycle-attribution histogram: for every VLIW
+// instruction of the loaded kernel it splits the cycles spent at that
+// PC by cause.
+type Profile struct {
+	cells [][NumCauses]int64
+	// PCs are the code addresses of the instruction indices (set by the
+	// machine from its encoding; used only for reporting).
+	PCs []uint32
+}
+
+// NewProfile allocates a profile over n instruction indices.
+func NewProfile(n int) *Profile {
+	return &Profile{cells: make([][NumCauses]int64, n)}
+}
+
+// Add attributes cycles at the instruction index to a cause. A nil
+// profile is the disabled state.
+func (p *Profile) Add(idx int, c Cause, cycles int64) {
+	if p == nil || idx < 0 || idx >= len(p.cells) {
+		return
+	}
+	p.cells[idx][c] += cycles
+}
+
+// Cell returns the per-cause cycles of one instruction index.
+func (p *Profile) Cell(idx int) [NumCauses]int64 { return p.cells[idx] }
+
+// Total returns the cycles attributed to one cause across all PCs.
+func (p *Profile) Total(c Cause) int64 {
+	var t int64
+	for i := range p.cells {
+		t += p.cells[i][c]
+	}
+	return t
+}
+
+// TotalCycles returns all attributed cycles; it equals the run's cycle
+// count when the profile was armed for the whole run.
+func (p *Profile) TotalCycles() int64 {
+	var t int64
+	for c := Cause(0); c < NumCauses; c++ {
+		t += p.Total(c)
+	}
+	return t
+}
+
+// Hotspot is one row of the top-N report.
+type Hotspot struct {
+	Index  int
+	PC     uint32
+	Cycles int64
+	Split  [NumCauses]int64
+}
+
+// TopN returns the n instructions with the most attributed cycles,
+// busiest first (ties break toward the lower PC, keeping the report
+// deterministic).
+func (p *Profile) TopN(n int) []Hotspot {
+	rows := make([]Hotspot, 0, len(p.cells))
+	for i, cell := range p.cells {
+		var tot int64
+		for _, v := range cell {
+			tot += v
+		}
+		if tot == 0 {
+			continue
+		}
+		h := Hotspot{Index: i, Cycles: tot, Split: cell}
+		if i < len(p.PCs) {
+			h.PC = p.PCs[i]
+		}
+		rows = append(rows, h)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Cycles != rows[j].Cycles {
+			return rows[i].Cycles > rows[j].Cycles
+		}
+		return rows[i].Index < rows[j].Index
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// Report prints the top-n hotspots and the per-cause totals.
+func (p *Profile) Report(w io.Writer, n int) {
+	total := p.TotalCycles()
+	fmt.Fprintf(w, "cycle attribution: %d cycles over %d PCs\n", total, len(p.cells))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "pc\tcycles\t%\t")
+	for c := Cause(0); c < NumCauses; c++ {
+		fmt.Fprintf(tw, "%s\t", c)
+	}
+	fmt.Fprintln(tw)
+	for _, h := range p.TopN(n) {
+		fmt.Fprintf(tw, "%#08x\t%d\t%.1f\t", h.PC, h.Cycles, 100*float64(h.Cycles)/float64(total))
+		for _, v := range h.Split {
+			fmt.Fprintf(tw, "%d\t", v)
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "total\t\t\t")
+	for c := Cause(0); c < NumCauses; c++ {
+		fmt.Fprintf(tw, "%d\t", p.Total(c))
+	}
+	fmt.Fprintln(tw)
+	tw.Flush()
+}

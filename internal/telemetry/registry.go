@@ -1,0 +1,90 @@
+// Package telemetry is the observability layer of the processor model:
+// a pull-based counter registry unifying every unit's statistics behind
+// stable dotted names, a structured event trace in Chrome trace-event
+// format (loadable in Perfetto / chrome://tracing), and a per-PC
+// cycle-attribution profile.
+//
+// The design keeps the simulator hot paths free of telemetry cost: units
+// increment plain struct fields exactly as before, and the registry
+// reads them only when a snapshot is taken. Event tracing is opt-in via
+// a nil-checked pointer, so a disabled trace costs one pointer compare
+// per would-be event.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Registry maps stable dotted counter names ("dcache.load.miss",
+// "prefetch.useful", ...) to live counter sources. Registration happens
+// once at machine construction; reads happen only at snapshot time, so
+// registered counters add zero cost to the simulation loop.
+type Registry struct {
+	names []string
+	read  map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{read: make(map[string]func() int64)}
+}
+
+// Counter registers a live int64 counter under the given dotted name.
+// Registering a duplicate name panics: names are the stable public
+// schema of the simulator and collisions are wiring bugs.
+func (r *Registry) Counter(name string, src *int64) {
+	r.Func(name, func() int64 { return *src })
+}
+
+// Func registers a derived counter computed at snapshot time.
+func (r *Registry) Func(name string, f func() int64) {
+	if _, dup := r.read[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate counter %q", name))
+	}
+	r.names = append(r.names, name)
+	r.read[name] = f
+}
+
+// Names returns the registered names in sorted order.
+func (r *Registry) Names() []string {
+	out := append([]string(nil), r.names...)
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot reads every registered counter at once. The result is a
+// stable point-in-time view; two snapshots of identical deterministic
+// runs are identical.
+func (r *Registry) Snapshot() Snapshot {
+	s := make(Snapshot, len(r.names))
+	for name, f := range r.read {
+		s[name] = f()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time counter dump keyed by dotted name.
+type Snapshot map[string]int64
+
+// Get returns the named counter (0 when absent).
+func (s Snapshot) Get(name string) int64 { return s[name] }
+
+// Sum adds the named counters.
+func (s Snapshot) Sum(names ...string) int64 {
+	var t int64
+	for _, n := range names {
+		t += s[n]
+	}
+	return t
+}
+
+// WriteJSON emits the snapshot as one JSON object with sorted keys
+// (encoding/json sorts map keys, so output is deterministic).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

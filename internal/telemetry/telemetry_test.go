@@ -1,0 +1,140 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tm3270/internal/telemetry"
+)
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := telemetry.NewRegistry()
+	var a, b int64 = 3, 4
+	r.Counter("unit.a", &a)
+	r.Counter("unit.b", &b)
+	r.Func("unit.sum", func() int64 { return a + b })
+
+	s := r.Snapshot()
+	if s.Get("unit.a") != 3 || s.Get("unit.b") != 4 || s.Get("unit.sum") != 7 {
+		t.Fatalf("snapshot = %v", s)
+	}
+	if s.Sum("unit.a", "unit.b") != 7 {
+		t.Errorf("Sum = %d, want 7", s.Sum("unit.a", "unit.b"))
+	}
+
+	// The snapshot is a point-in-time copy: later increments must not
+	// leak into it.
+	a = 100
+	if s.Get("unit.a") != 3 {
+		t.Error("snapshot not point-in-time")
+	}
+	if r.Snapshot().Get("unit.a") != 100 {
+		t.Error("registry not live")
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]int64
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back["unit.sum"] != 7 {
+		t.Errorf("round-tripped sum = %d", back["unit.sum"])
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := telemetry.NewRegistry()
+	var v int64
+	r.Counter("dup.name", &v)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup.name", &v)
+}
+
+func TestTraceMonotonicClamp(t *testing.T) {
+	tr := telemetry.NewTrace(0)
+	tr.Complete(1, "a", "c", 100, 5, nil)
+	tr.Instant(2, "b", "c", 50, nil) // out of order: must clamp to 100
+	tr.Complete(3, "c", "c", 120, 1, nil)
+
+	var last int64 = -1
+	for _, e := range tr.Events() {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.TS < last {
+			t.Fatalf("ts %d after %d: not monotonic", e.TS, last)
+		}
+		last = e.TS
+	}
+}
+
+func TestTraceCapAndJSONRoundTrip(t *testing.T) {
+	tr := telemetry.NewTrace(15)
+	for i := 0; i < 100; i++ {
+		tr.Instant(1, "e", "c", int64(i), map[string]any{"i": i})
+	}
+	if tr.Len() > 15 {
+		t.Errorf("stored %d events past the cap", tr.Len())
+	}
+	if tr.Dropped() == 0 {
+		t.Error("no drops recorded past the cap")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []telemetry.Event
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace JSON is not a valid event array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace array")
+	}
+	// The drop marker must ride along in the export.
+	found := false
+	for _, e := range events {
+		if e.Name == "events dropped past cap" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("drop marker missing from export")
+	}
+}
+
+func TestProfileAttribution(t *testing.T) {
+	p := telemetry.NewProfile(4)
+	p.PCs = []uint32{0x100, 0x104, 0x108, 0x10c}
+	p.Add(0, telemetry.CauseExecute, 1)
+	p.Add(1, telemetry.CauseExecute, 1)
+	p.Add(1, telemetry.CauseDataMiss, 40)
+	p.Add(2, telemetry.CauseExecute, 1)
+	p.Add(2, telemetry.CauseFetch, 10)
+	p.Add(-1, telemetry.CauseExecute, 99) // out of range: ignored
+	p.Add(9, telemetry.CauseExecute, 99)
+
+	if got := p.TotalCycles(); got != 53 {
+		t.Errorf("total = %d, want 53", got)
+	}
+	if p.Total(telemetry.CauseExecute) != 3 {
+		t.Errorf("execute total = %d", p.Total(telemetry.CauseExecute))
+	}
+	top := p.TopN(2)
+	if len(top) != 2 || top[0].PC != 0x104 || top[0].Cycles != 41 {
+		t.Fatalf("TopN = %+v", top)
+	}
+	var buf bytes.Buffer
+	p.Report(&buf, 3)
+	if buf.Len() == 0 {
+		t.Error("empty report")
+	}
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Lanes are the fixed Perfetto "thread" ids of the trace. Issue slots
+// 1-5 use tids 1-5; the memory system gets one lane per unit.
+const (
+	LaneFetch    = 6  // instruction fetch stalls and refills
+	LaneDCache   = 7  // data-side stalls, misses, refills
+	LanePrefetch = 8  // region-prefetch fills in flight
+	LaneBus      = 9  // BIU occupancy (reads, copybacks)
+	LaneCWB      = 10 // cache-write-buffer parking
+)
+
+// laneNames label the lanes in the Perfetto UI via metadata events.
+var laneNames = map[int]string{
+	1: "slot 1", 2: "slot 2", 3: "slot 3", 4: "slot 4", 5: "slot 5",
+	LaneFetch:    "ifetch",
+	LaneDCache:   "dcache",
+	LanePrefetch: "prefetch",
+	LaneBus:      "bus",
+	LaneCWB:      "cwb",
+}
+
+// Event is one Chrome trace-event record. Timestamps are CPU cycles
+// reported in the format's microsecond field: one displayed microsecond
+// equals one cycle.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// DefaultMaxEvents bounds an unconfigured trace (~25 MB of JSON).
+const DefaultMaxEvents = 250_000
+
+// Trace accumulates trace events. Timestamps are clamped monotonically
+// non-decreasing in emission order, which Perfetto requires for sane
+// rendering and the tests assert. A nil *Trace is the disabled state:
+// every unit guards emission with a nil check.
+type Trace struct {
+	events  []Event
+	max     int
+	dropped int64
+	lastTS  int64
+}
+
+// NewTrace returns a trace capped at maxEvents (<=0 selects
+// DefaultMaxEvents). Events past the cap are counted, not stored; the
+// drop count is appended as a final instant event on export.
+func NewTrace(maxEvents int) *Trace {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	t := &Trace{max: maxEvents}
+	for tid, name := range laneNames {
+		t.events = append(t.events, Event{
+			Name: "thread_name", Ph: "M", TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	// Metadata events carry no timestamps of interest; sort them by tid
+	// for deterministic output (map iteration order is random).
+	for i := range t.events {
+		for j := i + 1; j < len(t.events); j++ {
+			if t.events[j].TID < t.events[i].TID {
+				t.events[i], t.events[j] = t.events[j], t.events[i]
+			}
+		}
+	}
+	return t
+}
+
+func (t *Trace) add(e Event) {
+	if t == nil {
+		return
+	}
+	if len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	if e.TS < t.lastTS {
+		e.TS = t.lastTS
+	}
+	t.lastTS = e.TS
+	t.events = append(t.events, e)
+}
+
+// Complete records an interval [ts, ts+dur) on the given lane.
+func (t *Trace) Complete(tid int, name, cat string, ts, dur int64, args map[string]any) {
+	t.add(Event{Name: name, Cat: cat, Ph: "X", TS: ts, Dur: dur, TID: tid, Args: args})
+}
+
+// Instant records a point event on the given lane.
+func (t *Trace) Instant(tid int, name, cat string, ts int64, args map[string]any) {
+	t.add(Event{Name: name, Cat: cat, Ph: "i", TS: ts, TID: tid, Args: args})
+}
+
+// Len returns the number of stored events (metadata included).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped returns the number of events discarded past the cap.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events exposes the stored events (tests).
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// WriteJSON emits the trace as a Chrome trace-event JSON array, ready
+// for Perfetto's "Open trace file" or chrome://tracing.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	events := t.events
+	if t.dropped > 0 {
+		events = append(append([]Event(nil), events...), Event{
+			Name: "events dropped past cap", Ph: "i", TS: t.lastTS, TID: LaneFetch,
+			Args: map[string]any{"dropped": t.dropped},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -26,12 +26,21 @@ import (
 	"tm3270/internal/prog"
 	"tm3270/internal/regalloc"
 	"tm3270/internal/sched"
+	"tm3270/internal/telemetry"
 )
 
 // CodeBase is the byte address where kernels are linked.
 const CodeBase = 0x0100_0000
 
-// Stats is the execution report.
+// Stats is the execution report. The stall counters split every
+// non-issue cycle by cause: FetchStalls and DataStalls are totals, and
+// the component counters below them are disjoint, so
+//
+//	Cycles == Instrs + FetchStalls + DataStalls
+//	FetchStalls == (FetchStalls - JumpStalls) + JumpStalls
+//	DataStalls == DataMissStalls + DataInFlightStalls + DataCWBStalls
+//
+// hold for every completed run (asserted by the telemetry tests).
 type Stats struct {
 	Instrs   int64 // VLIW instructions issued
 	Ops      int64 // operations issued (pad NOPs excluded)
@@ -42,8 +51,13 @@ type Stats struct {
 	LoadOps  int64
 	StoreOps int64
 
-	FetchStalls int64 // instruction-fetch stalls
-	DataStalls  int64 // data-side stalls (misses, in-flight fills)
+	FetchStalls int64 // instruction-fetch stalls, jump penalty included
+	JumpStalls  int64 // fetch stalls on the first fetch after a taken jump
+
+	DataStalls         int64 // data-side stalls (total)
+	DataMissStalls     int64 // servicing demand misses and merge fetches
+	DataInFlightStalls int64 // waiting on lines already in flight (partial hits)
+	DataCWBStalls      int64 // cache-write-buffer backpressure
 }
 
 // OPI is the effective operations per VLIW instruction.
@@ -105,6 +119,16 @@ type Machine struct {
 	// cycle, instruction index, and the operations issued.
 	Trace      io.Writer
 	TraceLimit int64
+
+	// Events, when non-nil, receives the structured event trace (set it
+	// via SetEventTrace so the cache and bus models emit too). Per-slot
+	// issue events stop after TraceLimit instructions (default 10000
+	// here — stall and memory-system events continue for the whole run).
+	Events *telemetry.Trace
+
+	// Profile, when non-nil, attributes every cycle to its instruction
+	// index by cause (EnableProfile allocates it).
+	Profile *telemetry.Profile
 
 	rec   *recorder
 	curOp string // mnemonic of the memory op in flight (trap context)
@@ -274,7 +298,12 @@ func (m *Machine) Run() (err error) {
 		idx           int
 		redirectAfter int64 = -1
 		redirectTo    int
+		redirected    bool // next fetch follows a taken-jump redirect
 	)
+	issueEvents := int64(10_000)
+	if m.TraceLimit > 0 {
+		issueEvents = m.TraceLimit
+	}
 
 	type slotEval struct {
 		op      *prog.Op
@@ -295,11 +324,25 @@ func (m *Machine) Run() (err error) {
 		// Commit in-flight register writes due at this instruction.
 		m.commit(issue)
 
-		// Instruction fetch.
+		// Instruction fetch. Stalls on the first fetch after a redirect
+		// are the dynamic jump penalty (the discarded instruction
+		// buffer); the rest are sequential fetch stalls.
 		if st := m.IC.Fetch(cycle, m.Enc.Addr[idx], m.Enc.Size[idx]); st > 0 {
-			cycle += st
 			m.Stats.FetchStalls += st
+			cause, name := telemetry.CauseFetch, "stall:fetch"
+			if redirected {
+				m.Stats.JumpStalls += st
+				cause, name = telemetry.CauseJump, "stall:jump"
+			}
+			m.Profile.Add(idx, cause, st)
+			if m.Events != nil {
+				m.Events.Complete(telemetry.LaneFetch, name, "stall", cycle, st,
+					map[string]any{"pc": m.Enc.Addr[idx]})
+			}
+			cycle += st
 		}
+		redirected = false
+		m.Profile.Add(idx, telemetry.CauseExecute, 1)
 
 		in := &m.Code.Instrs[idx]
 		m.rec.record(cycle, issue, idx)
@@ -334,6 +377,10 @@ func (m *Machine) Run() (err error) {
 			for k := 0; k < info.NSrc; k++ {
 				ev.ctx.Src[k] = m.regs.Read(m.RegMap.Reg(op.Src[k]))
 			}
+			if m.Events != nil && issue < issueEvents {
+				m.Events.Complete(s+1, info.Name, "issue", cycle, 1,
+					map[string]any{"pc": m.Enc.Addr[idx], "exec": g})
+			}
 			evals = append(evals, ev)
 		}
 
@@ -364,9 +411,19 @@ func (m *Machine) Run() (err error) {
 					case info.IsStore:
 						kind = dcache.Store
 					}
+					// The cache attributes its stall cycles by cause;
+					// the deltas across the access split DataStalls.
+					ds := &m.DC.Stats
+					pm, pi, pw := ds.StallMiss, ds.StallInFlight, ds.StallCWB
 					if st := m.DC.Access(cycle, addr, size, kind); st > 0 {
-						cycle += st
 						m.Stats.DataStalls += st
+						m.Stats.DataMissStalls += ds.StallMiss - pm
+						m.Stats.DataInFlightStalls += ds.StallInFlight - pi
+						m.Stats.DataCWBStalls += ds.StallCWB - pw
+						m.Profile.Add(idx, telemetry.CauseDataMiss, ds.StallMiss-pm)
+						m.Profile.Add(idx, telemetry.CauseDataInFlight, ds.StallInFlight-pi)
+						m.Profile.Add(idx, telemetry.CauseDataCWB, ds.StallCWB-pw)
+						cycle += st
 					}
 				}
 			}
@@ -413,6 +470,11 @@ func (m *Machine) Run() (err error) {
 			idx = redirectTo
 			redirectAfter = -1
 			m.IC.Redirect()
+			redirected = true
+			if m.Events != nil {
+				m.Events.Instant(telemetry.LaneFetch, "redirect", "jump", cycle,
+					map[string]any{"to": m.Enc.Addr[redirectTo]})
+			}
 		} else {
 			idx++
 		}

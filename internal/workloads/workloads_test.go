@@ -255,7 +255,7 @@ func TestMotionEstVariants(t *testing.T) {
 	mp.Prefetch = true
 	pf := workloads.MotionEst(mp)
 	mpf := runOn(t, pf, d)
-	if mpf.PF == nil || mpf.PF.Issued == 0 {
+	if mpf.PF == nil || mpf.PF.Stats.Issued == 0 {
 		t.Error("prefetch variant issued no prefetches")
 	}
 
@@ -329,7 +329,7 @@ func TestUpconv(t *testing.T) {
 	d := config.ConfigD()
 	off := runOn(t, workloads.Upconv(p, false), d)
 	on := runOn(t, workloads.Upconv(p, true), d)
-	if on.DC.Stats.PrefIssued == 0 {
+	if on.PF == nil || on.PF.Stats.Issued == 0 {
 		t.Fatal("prefetch variant issued nothing")
 	}
 	if on.Stats.Cycles >= off.Stats.Cycles {
