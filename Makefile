@@ -1,16 +1,30 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench campaign bench-json
+.PHONY: check build vet test race fuzz bench campaign bench-json lint tmvet binlint
 
-# Tier-1 gate: vet, the full test suite under the race detector, and the
-# machine-readable quick bench (written and schema-checked).
-check: vet race bench-json
+# Tier-1 gate: lint (vet + tmvet + gofmt), the full test suite under the
+# race detector, and the machine-readable quick bench (written and
+# schema-checked).
+check: lint race bench-json
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint: go vet, the repo's custom analyzers (cmd/tmvet: panicfree,
+# counternames), and a gofmt cleanliness gate.
+lint: vet tmvet
+	@fmt=$$(gofmt -l .); \
+	if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
+
+tmvet:
+	$(GO) run ./cmd/tmvet .
+
+# binlint: static-verify every shipped workload's encoded binary.
+binlint:
+	$(GO) run ./cmd/tm3270lint
 
 test:
 	$(GO) test ./...

@@ -122,6 +122,14 @@ func main() {
 				return err
 			}
 			res.PrintSummary(os.Stdout)
+			// The static counterpart: seeded single-bit image flips that
+			// still decode must be flagged by binverify before execution.
+			fmt.Println()
+			sres, err := faults.RunStaticCampaign(faults.StaticConfig{}, nil)
+			if err != nil {
+				return err
+			}
+			sres.PrintSummary(os.Stdout)
 			return nil
 		})
 	}

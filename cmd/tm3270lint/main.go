@@ -1,0 +1,121 @@
+// Command tm3270lint statically verifies TM3270 binaries: it builds,
+// schedules and encodes the named workloads (all of them by default),
+// decodes the resulting images back, and runs the internal/binverify
+// whole-program analyzer over the decoded machine code. Every finding
+// is a structured diagnostic — PC, instruction index, issue slot,
+// mnemonic, the analysis that fired and a message:
+//
+//	error: pc=0x1000038 instr 2 slot 3 asl [slot]: asl (unit shifter) may not issue in slot 3 (legal slots {1,2})
+//
+// The exit status is 1 if any workload produced an error-severity
+// diagnostic (or any diagnostic at all under -strict), so the command
+// gates CI and pre-run pipelines.
+//
+// Usage:
+//
+//	tm3270lint [-config A|B|C|D|tm3260|tm3270] [-full] [-strict] [-q] [workload ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tm3270/internal/binverify"
+	"tm3270/internal/config"
+	"tm3270/internal/encode"
+	"tm3270/internal/isa"
+	"tm3270/internal/regalloc"
+	"tm3270/internal/sched"
+	"tm3270/internal/tmsim"
+	"tm3270/internal/workloads"
+)
+
+func main() {
+	cfg := flag.String("config", "D", "target: A, B, C, D, tm3260 or tm3270")
+	full := flag.Bool("full", false, "paper-scale workload sizes (default: small)")
+	strict := flag.Bool("strict", false, "treat warnings as failures")
+	quiet := flag.Bool("q", false, "print only workloads with findings")
+	flag.Parse()
+
+	var tgt config.Target
+	switch strings.ToUpper(*cfg) {
+	case "A", "TM3260":
+		tgt = config.ConfigA()
+	case "B":
+		tgt = config.ConfigB()
+	case "C":
+		tgt = config.ConfigC()
+	case "D", "TM3270":
+		tgt = config.ConfigD()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *cfg)
+		os.Exit(2)
+	}
+
+	p := workloads.Small()
+	if *full {
+		p = workloads.Full()
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		names = workloads.Names()
+	}
+
+	failed := false
+	for _, name := range names {
+		w, err := workloads.ByName(name, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		code, err := sched.Schedule(w.Prog, tgt)
+		if err != nil {
+			// Workloads using TM3270-only operations cannot be compiled
+			// for earlier targets; that is a property of the target, not a
+			// verification finding.
+			fmt.Printf("%-16s skipped: %v\n", name, err)
+			continue
+		}
+		rm, err := regalloc.Allocate(w.Prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: regalloc: %v\n", name, err)
+			os.Exit(2)
+		}
+		enc, err := encode.Encode(code, rm, tmsim.CodeBase)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: encode: %v\n", name, err)
+			os.Exit(2)
+		}
+		dec, err := encode.Decode(enc.Bytes, tmsim.CodeBase, len(code.Instrs))
+		if err != nil {
+			// A shipped binary that does not decode is itself a finding.
+			fmt.Printf("%-16s FAIL: image does not decode: %v\n", name, err)
+			failed = true
+			continue
+		}
+		var entry []isa.Reg
+		for v := range w.Args {
+			entry = append(entry, rm.Reg(v))
+		}
+		rep := binverify.Verify(dec, &tgt, &binverify.Options{EntryDefined: entry})
+		bad := rep.Errors() > 0 || (*strict && !rep.Clean())
+		switch {
+		case rep.Clean():
+			if !*quiet {
+				fmt.Printf("%-16s ok: %d instructions, %d bytes\n",
+					name, len(dec), enc.TotalBytes())
+			}
+		default:
+			fmt.Printf("%-16s %d error(s), %d warning(s):\n", name, rep.Errors(), rep.Warnings())
+			rep.Write(os.Stdout)
+		}
+		if bad {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -17,9 +17,14 @@
 // hotspots (execute vs fetch-stall vs jump-penalty vs data-stall
 // cycles, the data side split by cause).
 //
+// The -verify flag gates the run on internal/binverify: the encoded
+// image is decoded back and statically verified (latency hazards, slot
+// legality, jump targets, ...) before the first cycle executes; any
+// error-severity diagnostic refuses the run.
+//
 // Usage:
 //
-//	tm3270sim [-config A|B|C|D|tm3260|tm3270] [-full] [-list]
+//	tm3270sim [-config A|B|C|D|tm3260|tm3270] [-full] [-list] [-verify]
 //	          [-inject kind[:rate[:delay]]] [-seed n] [-deadline d]
 //	          [-strict] [-watchdog n] [-stats-json file] [-trace-json file]
 //	          [-profile n] <workload>
@@ -33,9 +38,11 @@ import (
 	"os"
 	"strings"
 
+	"tm3270/internal/binverify"
 	"tm3270/internal/config"
 	"tm3270/internal/encode"
 	"tm3270/internal/faults"
+	"tm3270/internal/isa"
 	"tm3270/internal/mem"
 	"tm3270/internal/power"
 	"tm3270/internal/regalloc"
@@ -63,6 +70,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "wall-clock execution deadline (0 = none)")
 	strict := flag.Bool("strict", false, "trap on unmapped loads and null-page stores")
 	watchdog := flag.Int64("watchdog", 0, "instruction-count watchdog (0 = default)")
+	verify := flag.Bool("verify", false, "statically verify the decoded binary before running (exit on errors)")
 	statsJSON := flag.String("stats-json", "", "write the counter registry snapshot as JSON (\"-\" = stdout)")
 	traceJSON := flag.String("trace-json", "", "write a Perfetto-loadable trace-event JSON file")
 	profileN := flag.Int("profile", 0, "print the top-N cycle-attribution hotspots")
@@ -116,6 +124,28 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *verify {
+		// Pre-run gate: decode the encoded image back and statically
+		// verify the machine code the simulator is about to execute.
+		dec, err := encode.Decode(enc.Bytes, tmsim.CodeBase, len(code.Instrs))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verify: image does not decode: %v\n", err)
+			os.Exit(1)
+		}
+		var entry []isa.Reg
+		for v := range w.Args {
+			entry = append(entry, rm.Reg(v))
+		}
+		rep := binverify.Verify(dec, &tgt, &binverify.Options{EntryDefined: entry})
+		rep.Write(os.Stderr)
+		if rep.Errors() > 0 {
+			fmt.Fprintf(os.Stderr, "verify: %d error(s), %d warning(s); refusing to run\n",
+				rep.Errors(), rep.Warnings())
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "verify: ok (%d instructions, %d warnings)\n",
+			len(dec), rep.Warnings())
 	}
 
 	image := mem.NewFunc()

@@ -1,0 +1,42 @@
+// Command tmvet runs the repository's custom static analysis passes
+// (internal/analyzers) over a source tree: panicfree (no bare panics in
+// simulator hot paths) and counternames (telemetry counter names are
+// literal dotted lower-case strings). It prints findings in the
+// `go vet` style and exits 1 when there are any, so `make lint` gates
+// on it.
+//
+// Usage:
+//
+//	tmvet [dir ...]   (default: .)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tm3270/internal/analyzers"
+)
+
+func main() {
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	failed := false
+	for _, root := range roots {
+		diags, err := analyzers.Run(root, analyzers.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tmvet:", err)
+			os.Exit(2)
+		}
+		for i := range diags {
+			fmt.Println(diags[i].String())
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,167 @@
+// Package analyzers holds the repository's custom static analysis
+// passes and a minimal driver framework for them, mirroring the
+// go/analysis Analyzer/Pass shape on the standard library alone (the
+// build environment carries no golang.org/x/tools, and these passes
+// need only syntax).
+//
+// Passes:
+//
+//   - panicfree: the simulator hot paths (internal/tmsim, internal/prog,
+//     internal/telemetry) must not raise bare panics — execution faults
+//     are TrapErrors and API misuse is a returned error. Typed trap
+//     payloads (panic(&memTrap{...}), recovered at the Run boundary),
+//     init-time and Must*-prefixed registration panics, and lines
+//     marked //tmvet:allow are exempt.
+//
+//   - counternames: telemetry counters are registered under literal
+//     dotted lower-case names — the stable public schema of the
+//     BENCH_*.json trajectory format — never computed strings.
+//
+// Run the passes with cmd/tmvet (wired into `make lint` / `make check`).
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the source tree.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the `go vet` style.
+func (d *Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass is one analyzer applied to one parsed package.
+type Pass struct {
+	Fset    *token.FileSet
+	PkgName string      // package name as declared
+	Dir     string      // slash-separated directory relative to the root
+	Files   []*ast.File // parsed with comments
+
+	analyzer string
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one analysis pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the repository's analyzers.
+func All() []*Analyzer { return []*Analyzer{PanicFree, CounterNames} }
+
+// RunFiles applies the analyzers to one already-parsed package; tests
+// use it to drive a pass over in-memory sources.
+func RunFiles(fset *token.FileSet, pkgName, dir string, files []*ast.File, as []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range as {
+		p := &Pass{Fset: fset, PkgName: pkgName, Dir: dir, Files: files,
+			analyzer: a.Name, diags: &diags}
+		a.Run(p)
+	}
+	return diags
+}
+
+// Run parses every non-test package under root and applies the
+// analyzers, returning the findings sorted by position. Vendored,
+// hidden and testdata directories are skipped.
+func Run(root string, as []*Analyzer) ([]Diagnostic, error) {
+	pkgs := map[string][]string{} // dir -> files
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		pkgs[dir] = append(pkgs[dir], path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	dirs := make([]string, 0, len(pkgs))
+	for dir := range pkgs {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+
+	var diags []Diagnostic
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		sort.Strings(pkgs[dir])
+		var files []*ast.File
+		pkgName := ""
+		for _, path := range pkgs[dir] {
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+			pkgName = f.Name.Name
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			rel = dir
+		}
+		diags = append(diags, RunFiles(fset, pkgName, filepath.ToSlash(rel), files, as)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := &diags[i], &diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// lineHasAllow reports whether the source line holding pos carries a
+// //tmvet:allow suppression comment.
+func lineHasAllow(fset *token.FileSet, f *ast.File, pos token.Pos) bool {
+	line := fset.Position(pos).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if fset.Position(c.Pos()).Line == line && strings.Contains(c.Text, "tmvet:allow") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package analyzers_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"tm3270/internal/analyzers"
+)
+
+// run parses src as a single file and applies every analyzer, treating
+// it as package dir (slash-separated, relative).
+func run(t *testing.T, dir, src string) []analyzers.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return analyzers.RunFiles(fset, f.Name.Name, dir, []*ast.File{f}, analyzers.All())
+}
+
+func TestPanicFreeFlagsBarePanic(t *testing.T) {
+	diags := run(t, "internal/tmsim", `package tmsim
+func Step() { panic("boom") }
+`)
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want 1 finding", diags)
+	}
+	if diags[0].Analyzer != "panicfree" || !strings.Contains(diags[0].Message, "Step") {
+		t.Errorf("unexpected diagnostic: %v", diags[0])
+	}
+}
+
+func TestPanicFreeExemptions(t *testing.T) {
+	src := `package tmsim
+type memTrap struct{ addr uint32 }
+func init() { panic("registration") }
+func MustThing() { panic("misuse") }
+func raise() { panic(&memTrap{addr: 4}) }
+func raiseVal() { panic(memTrap{addr: 4}) }
+func allowed() { panic("checked") //tmvet:allow exercised in tests
+}
+`
+	if diags := run(t, "internal/tmsim", src); len(diags) != 0 {
+		t.Errorf("exempt panics flagged: %v", diags)
+	}
+}
+
+func TestPanicFreeIgnoresColdPackages(t *testing.T) {
+	diags := run(t, "internal/encode", `package encode
+func Step() { panic("boom") }
+`)
+	if len(diags) != 0 {
+		t.Errorf("cold package flagged: %v", diags)
+	}
+}
+
+func TestCounterNamesFlagsBadLiteral(t *testing.T) {
+	diags := run(t, "internal/tmsim", `package tmsim
+import "tm3270/internal/telemetry"
+func wire(r *telemetry.Registry, f func() int64) {
+	r.Func("DCacheMiss", f)
+}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "counternames" {
+		t.Fatalf("diags = %v, want 1 counternames finding", diags)
+	}
+	if !strings.Contains(diags[0].Message, "dotted lower-case") {
+		t.Errorf("unexpected message: %v", diags[0])
+	}
+}
+
+func TestCounterNamesFlagsComputedName(t *testing.T) {
+	diags := run(t, "internal/tmsim", `package tmsim
+import "tm3270/internal/telemetry"
+func wire(r *telemetry.Registry, base string, f func() int64) {
+	r.Func(base+".miss", f)
+}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "string literal") {
+		t.Fatalf("diags = %v, want 1 computed-name finding", diags)
+	}
+}
+
+func TestCounterNamesAcceptsGoodNames(t *testing.T) {
+	diags := run(t, "internal/tmsim", `package tmsim
+import "tm3270/internal/telemetry"
+func wire(r *telemetry.Registry, f func() int64) {
+	r.Func("dcache.load.miss", f)
+	r.Counter("core.cycles", f)
+}
+`)
+	if len(diags) != 0 {
+		t.Errorf("good names flagged: %v", diags)
+	}
+}
+
+func TestCounterNamesExemptsTelemetryPackage(t *testing.T) {
+	diags := run(t, "internal/telemetry", `package telemetry
+import "tm3270/internal/telemetry"
+func forward(r *telemetry.Registry, name string, f func() int64) {
+	r.Func(name, f)
+}
+`)
+	if len(diags) != 0 {
+		t.Errorf("telemetry package flagged: %v", diags)
+	}
+}
+
+func TestCounterNamesIgnoresFilesWithoutImport(t *testing.T) {
+	diags := run(t, "internal/encode", `package encode
+type reg struct{}
+func (reg) Func(name string, f func() int64) {}
+func wire(r reg, f func() int64) { r.Func("NotDotted", f) }
+`)
+	if len(diags) != 0 {
+		t.Errorf("non-telemetry Func flagged: %v", diags)
+	}
+}
+
+func TestRunWalksRepository(t *testing.T) {
+	diags, err := analyzers.Run("../..", analyzers.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("repository not tmvet-clean: %v", diags)
+	}
+}

@@ -1,0 +1,78 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// telemetryImport is the import path whose registration API the pass
+// polices.
+const telemetryImport = "tm3270/internal/telemetry"
+
+// counterNameRE is the counter-name schema: two or more dotted
+// lower-case alphanumeric segments ("dcache.load.miss").
+var counterNameRE = regexp.MustCompile(`^[a-z0-9]+(\.[a-z0-9]+)+$`)
+
+// CounterNames checks that every telemetry counter registration —
+// X.Counter(name, ...) / X.Func(name, ...) in files importing the
+// telemetry package — passes a literal dotted lower-case name. The
+// names are the stable schema of the stats-json snapshot and the
+// BENCH_*.json trajectory format; computed names would make the schema
+// depend on runtime state. Package telemetry itself is exempt (its
+// Counter helper forwards the caller's name to Func).
+var CounterNames = &Analyzer{
+	Name: "counternames",
+	Doc:  "telemetry counter names must be literal dotted lower-case strings",
+	Run:  runCounterNames,
+}
+
+func runCounterNames(p *Pass) {
+	if p.PkgName == "telemetry" {
+		return
+	}
+	for _, f := range p.Files {
+		if !importsTelemetry(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Counter" && sel.Sel.Name != "Func") || len(call.Args) < 2 {
+				return true
+			}
+			if lineHasAllow(p.Fset, f, call.Pos()) {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				p.Reportf(call.Args[0].Pos(),
+					"%s registration name must be a string literal, not a computed expression",
+					sel.Sel.Name)
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil || !counterNameRE.MatchString(name) {
+				p.Reportf(lit.Pos(),
+					"counter name %s is not dotted lower-case (want e.g. \"dcache.load.miss\")",
+					lit.Value)
+			}
+			return true
+		})
+	}
+}
+
+func importsTelemetry(f *ast.File) bool {
+	for _, imp := range f.Imports {
+		if path, err := strconv.Unquote(imp.Path.Value); err == nil &&
+			(path == telemetryImport || strings.HasSuffix(path, "/internal/telemetry")) {
+			return true
+		}
+	}
+	return false
+}

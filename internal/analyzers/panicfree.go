@@ -1,0 +1,80 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// hotPackages are the directories where a bare panic is forbidden: the
+// simulator executes untrusted decoded binaries and arbitrary kernel
+// IR, so every fault must surface as a TrapError or a returned error,
+// never as a Go panic trace.
+var hotPackages = []string{"internal/tmsim", "internal/prog", "internal/telemetry"}
+
+// PanicFree forbids bare panic(...) calls in the hot packages. Exempt:
+//
+//   - init functions and Must*-prefixed helpers (registration-time
+//     programming errors, by convention allowed to panic)
+//   - panics carrying a composite-literal payload, the typed-trap
+//     pattern (panic(&memTrap{...})) recovered at the Run boundary
+//   - lines marked //tmvet:allow
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "forbid bare panics in simulator hot paths (use TrapError or returned errors)",
+	Run:  runPanicFree,
+}
+
+func runPanicFree(p *Pass) {
+	hot := false
+	for _, h := range hotPackages {
+		if p.Dir == h || strings.HasSuffix(p.Dir, "/"+h) {
+			hot = true
+			break
+		}
+	}
+	if !hot {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkPanics(p, f, fn)
+			}
+		}
+	}
+}
+
+func checkPanics(p *Pass, f *ast.File, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	if name == "init" || strings.HasPrefix(name, "Must") {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" || len(call.Args) != 1 {
+			return true
+		}
+		if typedTrapPayload(call.Args[0]) || lineHasAllow(p.Fset, f, call.Pos()) {
+			return true
+		}
+		p.Reportf(call.Pos(),
+			"bare panic in hot-path function %s: raise a TrapError or return an error (//tmvet:allow to suppress)",
+			name)
+		return true
+	})
+}
+
+// typedTrapPayload recognizes panic(&T{...}) and panic(T{...}): a typed
+// payload the caller recovers and converts into a structured trap.
+func typedTrapPayload(arg ast.Expr) bool {
+	if u, ok := arg.(*ast.UnaryExpr); ok {
+		arg = u.X
+	}
+	_, ok := arg.(*ast.CompositeLit)
+	return ok
+}

@@ -1,0 +1,232 @@
+package binverify
+
+import (
+	"tm3270/internal/isa"
+	"tm3270/internal/sched"
+)
+
+// The latency analysis tracks, per register, how many instructions
+// remain until an in-flight write commits. The pipeline commits a write
+// of latency L issued at index j before the instruction at index j+L
+// executes, so at the entry of node j+k the register has L-k
+// instructions pending; any read while pend > 0 observes the stale
+// value. The analysis is a forward may-analysis: the join over
+// predecessors takes the per-register maximum, so a hazard on any
+// incoming path is reported. The definedness analysis is the dual
+// must-analysis (join = intersection): a register is defined only if
+// every path to the node wrote it unconditionally.
+type dfState struct {
+	pend map[isa.Reg]int  // instructions until the in-flight write commits
+	def  map[isa.Reg]bool // nil when the uninit analysis is off
+}
+
+func (s *dfState) clone() *dfState {
+	c := &dfState{pend: make(map[isa.Reg]int, len(s.pend))}
+	for r, p := range s.pend {
+		c.pend[r] = p
+	}
+	if s.def != nil {
+		c.def = make(map[isa.Reg]bool, len(s.def))
+		for r := range s.def {
+			c.def[r] = true
+		}
+	}
+	return c
+}
+
+// mergeFrom joins o into s, reporting whether s changed.
+func (s *dfState) mergeFrom(o *dfState) bool {
+	changed := false
+	for r, p := range o.pend {
+		if p > s.pend[r] {
+			s.pend[r] = p
+			changed = true
+		}
+	}
+	if s.def != nil {
+		for r := range s.def {
+			if !o.def[r] {
+				delete(s.def, r)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// neverExec reports whether the operation's hardwired guard statically
+// disables it (r0 reads 0, r1 reads 1; the guard check is on the low
+// bit). Such an operation is dead: it neither reads nor writes.
+func neverExec(op *vop) bool {
+	if op.info.GuardInverted {
+		return op.guard == isa.R1
+	}
+	return op.guard == isa.R0
+}
+
+// transfer computes the state at the next node's entry from the state
+// at node i's entry, emitting diagnostics when report is set. Reads
+// observe the entry state (operands are gathered before any write of
+// the same instruction commits).
+func (v *verifier) transfer(i int, in *dfState, report bool) *dfState {
+	if report {
+		for k := range v.ops[i] {
+			op := &v.ops[i][k]
+			if neverExec(op) {
+				continue
+			}
+			regs := make([]isa.Reg, 0, 5)
+			regs = append(regs, op.guard)
+			regs = append(regs, op.srcs...)
+			for _, r := range regs {
+				if r.Hardwired() {
+					continue
+				}
+				if p := in.pend[r]; p > 0 {
+					v.diag(i, op.slot, op.mn(), CheckLatency, Error,
+						"reads %s %d instruction(s) before its in-flight write commits", r, p)
+				}
+				if in.def != nil && !in.def[r] {
+					v.diag(i, op.slot, op.mn(), CheckUninit, Warn,
+						"reads %s, which may be uninitialized on some path to this instruction", r)
+				}
+			}
+		}
+	}
+
+	out := in.clone()
+	for r, p := range out.pend {
+		if p <= 1 {
+			delete(out.pend, r)
+		} else {
+			out.pend[r] = p - 1
+		}
+	}
+	for k := range v.ops[i] {
+		op := &v.ops[i][k]
+		if neverExec(op) {
+			continue
+		}
+		lat := v.t.OpLatency(op.oc)
+		for _, d := range op.dests {
+			if d.Hardwired() {
+				continue
+			}
+			// The earlier write commits at i+pend, this one at i+lat: the
+			// earlier one landing at the same cycle or later inverts the
+			// write order the schedule promised.
+			if report && in.pend[d] >= lat {
+				v.diag(i, op.slot, op.mn(), CheckWAW, Error,
+					"writes %s while an earlier write is still in flight and commits no earlier (WAW order violation)", d)
+			}
+			if lat > 1 {
+				out.pend[d] = lat - 1
+			} else {
+				delete(out.pend, d)
+			}
+			// A guarded (if-converted) write still defines the register for
+			// the may-uninit analysis: flagging it would drown real
+			// never-written-on-some-path reads in false positives.
+			if out.def != nil {
+				out.def[d] = true
+			}
+		}
+	}
+	return out
+}
+
+// dataflow runs the worklist fixpoint over the CFG, then a final
+// deterministic reporting pass in instruction order.
+func (v *verifier) dataflow() {
+	n := len(v.dec)
+	entry := &dfState{pend: map[isa.Reg]int{}}
+	if v.uninitOn {
+		entry.def = map[isa.Reg]bool{isa.R0: true, isa.R1: true}
+		for r := range v.entryDefined {
+			entry.def[r] = true
+		}
+	}
+
+	states := make([]*dfState, n)
+	states[0] = entry
+	work := []int{0}
+	queued := make([]bool, n)
+	queued[0] = true
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		queued[i] = false
+		out := v.transfer(i, states[i], false)
+		for _, s := range v.succ[i] {
+			if s >= n {
+				continue // exit
+			}
+			changed := false
+			if states[s] == nil {
+				states[s] = out.clone()
+				changed = true
+			} else {
+				changed = states[s].mergeFrom(out)
+			}
+			if changed && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if states[i] != nil {
+			v.transfer(i, states[i], true)
+		}
+	}
+}
+
+// checkWritePorts counts, per straight-line issue cycle, how many
+// register results commit together, and flags cycles that need more
+// write ports than the register file has (sched.WBPorts). It also flags
+// two operations of one instruction writing the same register — an
+// intra-instruction WAW the dataflow (which tracks one pending write
+// per register) would mask.
+func (v *verifier) checkWritePorts() {
+	n := len(v.dec)
+	maxLat := 1
+	counts := make(map[int]int)
+	for i := 0; i < n; i++ {
+		seen := map[isa.Reg]int{} // dest -> slot of the first writer
+		for k := range v.ops[i] {
+			op := &v.ops[i][k]
+			if neverExec(op) {
+				continue
+			}
+			lat := v.t.OpLatency(op.oc)
+			if lat > maxLat {
+				maxLat = lat
+			}
+			for _, d := range op.dests {
+				if d.Hardwired() {
+					continue
+				}
+				if first, dup := seen[d]; dup {
+					v.diag(i, op.slot, op.mn(), CheckWAW, Error,
+						"writes %s already written by the operation in slot %d of the same instruction", d, first)
+				} else {
+					seen[d] = op.slot
+				}
+				counts[i+lat]++
+			}
+		}
+	}
+	for c := 1; c < n+maxLat; c++ {
+		if counts[c] <= sched.WBPorts {
+			continue
+		}
+		anchor := c
+		if anchor >= n {
+			anchor = n - 1
+		}
+		v.diag(anchor, 0, "", CheckWBPorts, Error,
+			"%d register writebacks commit in the same cycle; the register file has %d write ports",
+			counts[c], sched.WBPorts)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"tm3270/internal/binverify"
 	"tm3270/internal/config"
 	"tm3270/internal/encode"
 	"tm3270/internal/isa"
@@ -17,12 +18,16 @@ import (
 // undefined opcodes, reserved markers — must come back as an error,
 // never a panic or slice overrun. The seed corpus holds a valid
 // encoded kernel plus inputs that crashed earlier decoder revisions.
+// Whatever decodes successfully is additionally pushed through the
+// whole-program static verifier, which must classify it with
+// structured diagnostics — never panic — no matter how degenerate the
+// instruction stream is.
 func FuzzDecode(f *testing.F) {
 	valid := encodedKernel(f)
 	f.Add(valid, uint8(8))
-	f.Add(valid[:1], uint8(4))  // truncated mid-template
-	f.Add(valid[:3], uint8(4))  // truncated mid-slot
-	f.Add([]byte{}, uint8(1))   // empty image
+	f.Add(valid[:1], uint8(4)) // truncated mid-template
+	f.Add(valid[:3], uint8(4)) // truncated mid-slot
+	f.Add([]byte{}, uint8(1))  // empty image
 	// Entry slot in the regular 42-bit form carrying undefined opcode
 	// 125: 10-bit template, 3-bit marker 0, 7-bit opcode 1111101.
 	// Formerly panicked inside isa.Info.
@@ -38,6 +43,19 @@ func FuzzDecode(f *testing.F) {
 		for i := range dec {
 			if dec[i].Size <= 0 {
 				t.Fatalf("instr %d: non-positive size %d", i, dec[i].Size)
+			}
+		}
+		// The static verifier accepts any decodable stream and reports
+		// through diagnostics only.
+		tgt := config.TM3270()
+		rep := binverify.Verify(dec, &tgt, nil)
+		for _, d := range rep.Diags {
+			if d.Index < 0 || d.Index >= len(dec) {
+				t.Fatalf("diagnostic index %d outside stream of %d: %s",
+					d.Index, len(dec), d.String())
+			}
+			if d.Msg == "" || d.Check == "" {
+				t.Fatalf("unstructured diagnostic: %+v", d)
 			}
 		}
 	})

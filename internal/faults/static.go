@@ -1,0 +1,231 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"tm3270/internal/binverify"
+	"tm3270/internal/config"
+	"tm3270/internal/encode"
+	"tm3270/internal/isa"
+	"tm3270/internal/regalloc"
+	"tm3270/internal/sched"
+	"tm3270/internal/tmsim"
+	"tm3270/internal/workloads"
+)
+
+// StaticOutcome classifies one mutated binary image.
+type StaticOutcome int
+
+const (
+	// StaticRejected: the mutated image no longer decodes — the template
+	// chain or an opcode field broke, and the decoder itself is the gate.
+	StaticRejected StaticOutcome = iota
+	// StaticMasked: the image decodes to the identical instruction
+	// stream (the flip landed in dead padding bits), so there is nothing
+	// for any verifier to see.
+	StaticMasked
+	// StaticFlagged: the image decodes to a different stream and the
+	// static verifier reports at least one diagnostic — the corruption
+	// is caught before a single cycle executes.
+	StaticFlagged
+	// StaticMissed: the image decodes to a different stream that the
+	// verifier considers well-formed (e.g. one register operand swapped
+	// for another live one).
+	StaticMissed
+)
+
+// String names the outcome for campaign reports.
+func (o StaticOutcome) String() string {
+	switch o {
+	case StaticRejected:
+		return "rejected"
+	case StaticMasked:
+		return "masked"
+	case StaticFlagged:
+		return "flagged"
+	}
+	return "missed"
+}
+
+// StaticConfig parameterizes the static mutation campaign. Zero fields
+// take the documented defaults.
+type StaticConfig struct {
+	// Workloads are registry names (default: the runtime campaign set).
+	Workloads []string
+	// Mutants is the number of seeded single-bit image flips per
+	// workload (default 64).
+	Mutants int
+	// Params sizes the workloads (default workloads.Small()).
+	Params *workloads.Params
+	// Target is the processor configuration (default config.TM3270()).
+	Target *config.Target
+}
+
+func (c *StaticConfig) fill() {
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"memset", "memcpy", "filter", "blockwalk_pf"}
+	}
+	if c.Mutants <= 0 {
+		c.Mutants = 64
+	}
+	if c.Params == nil {
+		p := workloads.Small()
+		c.Params = &p
+	}
+	if c.Target == nil {
+		t := config.TM3270()
+		c.Target = &t
+	}
+}
+
+// StaticRow aggregates one workload's mutants by outcome.
+type StaticRow struct {
+	Workload string
+	Bytes    int // image size the flips sample from
+	Mutants  int
+	Counts   [4]int // indexed by StaticOutcome
+}
+
+// StaticResult is the outcome of a full static mutation campaign.
+type StaticResult struct {
+	Rows []StaticRow
+}
+
+// Count sums one outcome over all workloads.
+func (r *StaticResult) Count(o StaticOutcome) int {
+	n := 0
+	for i := range r.Rows {
+		n += r.Rows[i].Counts[o]
+	}
+	return n
+}
+
+// DetectionRate is the fraction of still-decodable, stream-changing
+// mutants the verifier flags: flagged / (flagged + missed). Rejected
+// and masked mutants never reach the verifier.
+func (r *StaticResult) DetectionRate() float64 {
+	f, m := r.Count(StaticFlagged), r.Count(StaticMissed)
+	if f+m == 0 {
+		return 0
+	}
+	return float64(f) / float64(f+m)
+}
+
+// PrintSummary renders the per-workload rows and the aggregate
+// static-detection rate.
+func (r *StaticResult) PrintSummary(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %8s %9s %8s %8s %8s\n",
+		"workload", "mutants", "rejected", "masked", "flagged", "missed")
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		fmt.Fprintf(w, "%-14s %8d %9d %8d %8d %8d\n", row.Workload, row.Mutants,
+			row.Counts[StaticRejected], row.Counts[StaticMasked],
+			row.Counts[StaticFlagged], row.Counts[StaticMissed])
+	}
+	fmt.Fprintf(w, "static mutation campaign: %d mutants, %d rejected by decode, %d masked, %d flagged, %d missed; static detection rate %.1f%% of decodable stream-changing mutants\n",
+		r.Count(StaticRejected)+r.Count(StaticMasked)+r.Count(StaticFlagged)+r.Count(StaticMissed),
+		r.Count(StaticRejected), r.Count(StaticMasked),
+		r.Count(StaticFlagged), r.Count(StaticMissed), 100*r.DetectionRate())
+}
+
+// RunStaticCampaign flips one seeded random bit per mutant in each
+// workload's encoded image and classifies what catches the corruption:
+// the decoder, the binverify static verifier, or nothing. The baseline
+// (unmutated) image must decode and verify clean, so every diagnostic
+// on a mutant is attributable to the flip.
+func RunStaticCampaign(cfg StaticConfig, w io.Writer) (*StaticResult, error) {
+	cfg.fill()
+	res := &StaticResult{}
+	for _, name := range cfg.Workloads {
+		row, err := staticOne(name, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("faults: static %s: %w", name, err)
+		}
+		res.Rows = append(res.Rows, *row)
+		if w != nil {
+			fmt.Fprintf(w, "%-14s %d mutants over %d bytes: %d rejected, %d masked, %d flagged, %d missed\n",
+				row.Workload, row.Mutants, row.Bytes,
+				row.Counts[StaticRejected], row.Counts[StaticMasked],
+				row.Counts[StaticFlagged], row.Counts[StaticMissed])
+		}
+	}
+	return res, nil
+}
+
+func staticOne(name string, cfg StaticConfig) (*StaticRow, error) {
+	w, err := workloads.ByName(name, *cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	code, err := sched.Schedule(w.Prog, *cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+	rm, err := regalloc.Allocate(w.Prog)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := encode.Encode(code, rm, tmsim.CodeBase)
+	if err != nil {
+		return nil, err
+	}
+	n := len(code.Instrs)
+	baseline, err := encode.Decode(enc.Bytes, tmsim.CodeBase, n)
+	if err != nil {
+		return nil, fmt.Errorf("baseline decode: %w", err)
+	}
+	var entry []isa.Reg
+	for v := range w.Args {
+		entry = append(entry, rm.Reg(v))
+	}
+	opts := &binverify.Options{EntryDefined: entry}
+	if rep := binverify.Verify(baseline, cfg.Target, opts); !rep.Clean() {
+		return nil, fmt.Errorf("baseline image is not verifier-clean (%d diagnostics)", len(rep.Diags))
+	}
+
+	row := &StaticRow{Workload: name, Bytes: len(enc.Bytes), Mutants: cfg.Mutants}
+	img := make([]byte, len(enc.Bytes))
+	for seed := int64(1); seed <= int64(cfg.Mutants); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		copy(img, enc.Bytes)
+		bit := rng.Intn(len(img) * 8)
+		img[bit/8] ^= 1 << (bit % 8)
+
+		dec, err := encode.Decode(img, tmsim.CodeBase, n)
+		switch {
+		case err != nil:
+			row.Counts[StaticRejected]++
+		case streamsEqual(dec, baseline):
+			row.Counts[StaticMasked]++
+		case !binverify.Verify(dec, cfg.Target, opts).Clean():
+			row.Counts[StaticFlagged]++
+		default:
+			row.Counts[StaticMissed]++
+		}
+	}
+	return row, nil
+}
+
+// streamsEqual compares two decoded streams slot by slot.
+func streamsEqual(a, b []encode.DecInstr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Addr != b[i].Addr || a[i].Size != b[i].Size {
+			return false
+		}
+		for s := 0; s < 5; s++ {
+			x, y := a[i].Slots[s], b[i].Slots[s]
+			switch {
+			case (x == nil) != (y == nil):
+				return false
+			case x != nil && *x != *y:
+				return false
+			}
+		}
+	}
+	return true
+}

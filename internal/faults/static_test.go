@@ -1,0 +1,64 @@
+package faults_test
+
+import (
+	"strings"
+	"testing"
+
+	"tm3270/internal/faults"
+)
+
+// TestStaticCampaignFlagsMutants runs a reduced static mutation
+// campaign and asserts the acceptance property: some still-decodable
+// mutants change the instruction stream, and the verifier flags a
+// nonzero fraction of them before execution.
+func TestStaticCampaignFlagsMutants(t *testing.T) {
+	cfg := faults.StaticConfig{
+		Workloads: []string{"memcpy", "filter"},
+		Mutants:   48,
+	}
+	res, err := faults.RunStaticCampaign(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	total := 0
+	for _, o := range []faults.StaticOutcome{faults.StaticRejected,
+		faults.StaticMasked, faults.StaticFlagged, faults.StaticMissed} {
+		total += res.Count(o)
+	}
+	if total != 2*48 {
+		t.Errorf("classified %d mutants, want %d", total, 2*48)
+	}
+	if res.Count(faults.StaticFlagged) == 0 {
+		t.Errorf("no mutant was flagged statically: %+v", res.Rows)
+	}
+	if r := res.DetectionRate(); r <= 0 || r > 1 {
+		t.Errorf("detection rate %v outside (0, 1]", r)
+	}
+
+	var b strings.Builder
+	res.PrintSummary(&b)
+	if !strings.Contains(b.String(), "static detection rate") {
+		t.Errorf("summary missing rate line:\n%s", b.String())
+	}
+}
+
+// TestStaticCampaignIsDeterministic: same seeds, same classification.
+func TestStaticCampaignIsDeterministic(t *testing.T) {
+	cfg := faults.StaticConfig{Workloads: []string{"memset"}, Mutants: 32}
+	a, err := faults.RunStaticCampaign(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := faults.RunStaticCampaign(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Errorf("row %d differs:\n  %+v\n  %+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}

@@ -19,6 +19,11 @@ import (
 	"tm3270/internal/prog"
 )
 
+// WBPorts is the number of register-file write ports: at most this many
+// results may commit in one cycle, and the scheduler spreads commits
+// accordingly.
+const WBPorts = 5
+
 // SlotOp is the occupant of one issue slot.
 type SlotOp struct {
 	Op *prog.Op // nil when the slot is empty
@@ -166,6 +171,14 @@ func scheduleBlock(c *Code, b *prog.Block, t *config.Target) error {
 		}
 	}
 
+	// wb counts register results committing per cycle: the register file
+	// has WBPorts write ports, so an op whose results would land on a
+	// full cycle must issue later. Results of different latencies issued
+	// on different cycles can collide on the same commit cycle, which the
+	// slot constraints alone do not prevent. (The block drain rule keeps
+	// every commit inside the block, so per-block accounting is exact.)
+	wb := map[int]int{}
+
 	remaining := len(body)
 	for cycle := 0; remaining > 0; cycle++ {
 		if cycle > 64*len(body)+1024 {
@@ -195,9 +208,14 @@ func scheduleBlock(c *Code, b *prog.Block, t *config.Target) error {
 		}
 		sortByPriority(ready, prio)
 		for _, i := range ready {
+			nd := body[i].Info().NDest
+			if nd > 0 && wb[cycle+lat(i)]+nd > WBPorts {
+				continue
+			}
 			if place(&instrs[cycle], &body[i], t) {
 				issue[i] = cycle
 				remaining--
+				wb[cycle+lat(i)] += nd
 			}
 		}
 	}

@@ -394,6 +394,112 @@ func TestVerifyRejectsBadSchedule(t *testing.T) {
 	}
 }
 
+// TestVerifyRejectsSwappedSlot: moving an op into a slot its unit is
+// not wired to must be rejected, even though the dataflow stays legal.
+func TestVerifyRejectsSwappedSlot(t *testing.T) {
+	b := prog.NewBuilder("slotbad")
+	x, y := b.Reg(), b.Reg()
+	b.AslI(x, y, 3) // shifters live in slots 1 and 2
+	code := mustSchedule(t, b.MustProgram(), config.TM3270())
+	if err := sched.Verify(code); err != nil {
+		t.Fatalf("good schedule rejected: %v", err)
+	}
+	i, s := issueOf(code, isa.OpASLI)
+	op := code.Instrs[i].Slots[s-1].Op
+	code.Instrs[i].Slots[s-1] = sched.SlotOp{}
+	code.Instrs[i].Slots[4] = sched.SlotOp{Op: op} // slot 5: no shifter
+	if err := sched.Verify(code); err == nil {
+		t.Error("verifier accepted a shift in slot 5")
+	}
+}
+
+// TestVerifyRejectsWAWReorder: pulling a short-latency overwrite ahead
+// of a long-latency write to the same register inverts the commit
+// order and must be rejected.
+func TestVerifyRejectsWAWReorder(t *testing.T) {
+	b := prog.NewBuilder("wawbad")
+	x, y, z := b.Reg(), b.Reg(), b.Reg()
+	b.Mul(x, y, y) // x commits at issue+3
+	b.Mov(x, z)    // program-order overwrite, must commit later
+	code := mustSchedule(t, b.MustProgram(), config.TM3270())
+	if err := sched.Verify(code); err != nil {
+		t.Fatalf("good schedule rejected: %v", err)
+	}
+	mi, _ := issueOf(code, isa.OpIMUL)
+	ai, as := issueOf(code, isa.OpIADD) // Mov lowers to iadd
+	op := code.Instrs[ai].Slots[as-1].Op
+	code.Instrs[ai].Slots[as-1] = sched.SlotOp{}
+	code.Instrs[mi+1].Slots[0] = sched.SlotOp{Op: op} // commits before the mul
+	if err := sched.Verify(code); err == nil {
+		t.Error("verifier accepted an inverted WAW commit order")
+	}
+}
+
+// TestVerifyRejectsGuardHazard: guard registers are read operands too —
+// a guarded op moved inside its guard producer's latency window must be
+// rejected.
+func TestVerifyRejectsGuardHazard(t *testing.T) {
+	b := prog.NewBuilder("guardbad")
+	g, x, y, z := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.Mul(g, x, x) // guard produced with latency 3
+	b.Mov(y, z).WithGuard(g)
+	code := mustSchedule(t, b.MustProgram(), config.TM3270())
+	if err := sched.Verify(code); err != nil {
+		t.Fatalf("good schedule rejected: %v", err)
+	}
+	mi, _ := issueOf(code, isa.OpIMUL)
+	ai, as := issueOf(code, isa.OpIADD)
+	op := code.Instrs[ai].Slots[as-1].Op
+	code.Instrs[ai].Slots[as-1] = sched.SlotOp{}
+	code.Instrs[mi+1].Slots[0] = sched.SlotOp{Op: op}
+	if err := sched.Verify(code); err == nil {
+		t.Error("verifier accepted a guard read inside the producer's latency window")
+	}
+}
+
+// TestVerifyChecksSecondSlotSources: a two-slot operation's extra
+// sources (carried by the Second half of the pair) are hazard-checked
+// like any other read. The producer feeds the super's fourth source,
+// which only the extension half encodes.
+func TestVerifyChecksSecondSlotSources(t *testing.T) {
+	b := prog.NewBuilder("secondsrc")
+	rs := b.Regs(7)
+	b.Mul(rs[5], rs[6], rs[6])                                // latency-3 producer
+	b.SuperDualIMix(rs[0], rs[1], rs[2], rs[3], rs[4], rs[5]) // rs[5] is Src[3]
+	code := mustSchedule(t, b.MustProgram(), config.TM3270())
+	if err := sched.Verify(code); err != nil {
+		t.Fatalf("good schedule rejected: %v", err)
+	}
+	mi, _ := issueOf(code, isa.OpIMUL)
+	si, ss := issueOf(code, isa.OpSUPERDUALIMIX)
+	if si-mi < 3 {
+		t.Fatalf("scheduler placed the super %d instrs after its source producer, want >= 3", si-mi)
+	}
+	// Move the pair (both halves) inside the mul's latency window.
+	op := code.Instrs[si].Slots[ss-1].Op
+	code.Instrs[si].Slots[ss-1] = sched.SlotOp{}
+	code.Instrs[si].Slots[ss] = sched.SlotOp{}
+	code.Instrs[mi+1].Slots[1] = sched.SlotOp{Op: op}
+	code.Instrs[mi+1].Slots[2] = sched.SlotOp{Op: op, Second: true}
+	if err := sched.Verify(code); err == nil {
+		t.Error("verifier accepted an extension-half source read inside the producer's latency window")
+	}
+}
+
+// TestVerifyRejectsBrokenPair: a two-slot operation stripped of its
+// Second half is structurally invalid.
+func TestVerifyRejectsBrokenPair(t *testing.T) {
+	b := prog.NewBuilder("pairbad")
+	rs := b.Regs(6)
+	b.SuperDualIMix(rs[0], rs[1], rs[2], rs[3], rs[4], rs[5])
+	code := mustSchedule(t, b.MustProgram(), config.TM3270())
+	si, ss := issueOf(code, isa.OpSUPERDUALIMIX)
+	code.Instrs[si].Slots[ss] = sched.SlotOp{} // drop the Second half
+	if err := sched.Verify(code); err == nil {
+		t.Error("verifier accepted a two-slot op without its second half")
+	}
+}
+
 // TestVerifyRejectsDrainViolation: a long-latency op moved into the
 // last instruction of a block must trip the drain rule.
 func TestVerifyRejectsDrainViolation(t *testing.T) {

@@ -3,22 +3,31 @@ package sched
 import (
 	"fmt"
 
+	"tm3270/internal/config"
 	"tm3270/internal/prog"
 )
 
 // Verify statically checks that scheduled code honors the exposed-
 // pipeline contract the hardware relies on (the TM3270 has no register
-// interlocks): within every block, no operation reads a register whose
-// producing write has not yet committed (issue + latency), writes to
-// the same register commit in program order, and every result commits
-// by the end of its block (the drain rule that makes cross-block
-// dataflow safe on both branch outcomes).
+// interlocks): every operation sits in an issue slot its functional
+// unit is wired to (two-slot operations occupy an adjacent pair, loads
+// respect the per-instruction load limit); within every block, no
+// operation reads a register whose producing write has not yet
+// committed (issue + latency), writes to the same register commit in
+// program order, and every result commits by the end of its block (the
+// drain rule that makes cross-block dataflow safe on both branch
+// outcomes).
 //
 // Verify re-derives the constraints independently of the scheduler's
 // own dependence graph, so it catches scheduler bugs that the
 // differential execution tests would only hit probabilistically.
 func Verify(c *Code) error {
 	t := &c.Target
+	for i := range c.Instrs {
+		if err := verifySlots(c, i, t); err != nil {
+			return err
+		}
+	}
 	for bi, start := range c.BlockStart {
 		end := len(c.Instrs)
 		if bi+1 < len(c.BlockStart) {
@@ -73,6 +82,46 @@ func Verify(c *Code) error {
 					c.Name, bi, v, ct, end)
 			}
 		}
+	}
+	return nil
+}
+
+// verifySlots checks unit/slot legality for one instruction: every
+// operation sits in a slot its unit class is wired to on the target,
+// two-slot operations hold an adjacent (first, Second) pair, and the
+// load count stays within the target's per-instruction limit.
+func verifySlots(c *Code, i int, t *config.Target) error {
+	in := &c.Instrs[i]
+	loads := 0
+	for s := 0; s < 5; s++ {
+		so := in.Slots[s]
+		if so.Op == nil {
+			continue
+		}
+		if so.Second {
+			if s == 0 || in.Slots[s-1].Op != so.Op || in.Slots[s-1].Second {
+				return fmt.Errorf("sched verify %s: instr %d slot %d: second half without matching first half",
+					c.Name, i, s+1)
+			}
+			continue
+		}
+		info := so.Op.Info()
+		mask := slotsFor(so.Op, t)
+		if !mask.Has(s + 1) {
+			return fmt.Errorf("sched verify %s: instr %d: %s in slot %d, unit allows %v",
+				c.Name, i, info.Name, s+1, mask)
+		}
+		if info.TwoSlot && (s+1 >= 5 || in.Slots[s+1].Op != so.Op || !in.Slots[s+1].Second) {
+			return fmt.Errorf("sched verify %s: instr %d slot %d: two-slot %s missing its second half",
+				c.Name, i, s+1, info.Name)
+		}
+		if info.IsLoad {
+			loads++
+		}
+	}
+	if loads > t.MaxLoadsPerInstr {
+		return fmt.Errorf("sched verify %s: instr %d issues %d loads, target allows %d",
+			c.Name, i, loads, t.MaxLoadsPerInstr)
 	}
 	return nil
 }
