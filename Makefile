@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench campaign bench-json lint tmvet binlint
+.PHONY: check build vet test race fuzz bench campaign bench-json bench-par lint tmvet binlint
 
 # Tier-1 gate: lint (vet + tmvet + gofmt), the full test suite under the
-# race detector, and the machine-readable quick bench (written and
-# schema-checked).
-check: lint race bench-json
+# race detector (includes the concurrent-runner and batch determinism
+# tests in internal/runner), the machine-readable quick bench (written
+# and schema-checked), and the serial-vs-parallel byte-identity proof.
+check: lint race bench-json bench-par
 
 build:
 	$(GO) build ./...
@@ -46,3 +47,12 @@ campaign:
 # the build on mismatch.
 bench-json:
 	$(GO) run ./cmd/tm3270bench -quick -json BENCH_quick.json
+
+# bench-par: the batch runner's determinism contract, end to end — the
+# quick bench JSON at -parallel 4 must be byte-identical to -parallel 1.
+bench-par:
+	$(GO) run ./cmd/tm3270bench -quick -parallel 1 -json BENCH_serial.json
+	$(GO) run ./cmd/tm3270bench -quick -parallel 4 -json BENCH_par.json
+	cmp BENCH_serial.json BENCH_par.json
+	@rm -f BENCH_serial.json BENCH_par.json
+	@echo "bench-par: parallel output byte-identical to serial"

@@ -77,7 +77,7 @@ func BenchmarkFigure7Average(b *testing.B) {
 	p := benchParams()
 	var d float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure7(p)
+		rows, err := experiments.Figure7(p, 0, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,11 +152,11 @@ func BenchmarkFigure1Encoding(b *testing.B) {
 	}
 	var perInstr float64
 	for i := 0; i < b.N; i++ {
-		code, _, enc, err := tm3270.Compile(w.Prog, tm3270.TM3270())
+		art, err := tm3270.Compile(w.Prog, tm3270.TM3270())
 		if err != nil {
 			b.Fatal(err)
 		}
-		perInstr = float64(enc.TotalBytes()) / float64(len(code.Instrs))
+		perInstr = float64(art.CodeBytes()) / float64(art.SchedInstrs())
 	}
 	b.ReportMetric(perInstr, "bytes-per-instr")
 }

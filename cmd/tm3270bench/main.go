@@ -6,26 +6,37 @@
 // counter snapshot) — the `BENCH_*.json` trajectory format — and
 // schema-checks it after writing.
 //
+// The matrix experiments (-json, -figure7) execute on the batch
+// runner: -parallel N bounds concurrent simulations (default
+// GOMAXPROCS, 1 = serial) and a process-wide compile-artifact cache
+// stops identical programs from recompiling across experiments. The
+// aggregation is job-ordered and every run isolated, so -json output
+// is byte-identical for any -parallel value.
+//
 // Usage:
 //
-//	tm3270bench [-quick] [-json out.json] [-table1] [-table3] [-table4]
-//	            [-table6] [-figure1] [-figure3] [-figure7] [-ablation]
-//	            [-faults]
+//	tm3270bench [-quick] [-parallel N] [-json out.json] [-table1]
+//	            [-table3] [-table4] [-table6] [-figure1] [-figure3]
+//	            [-figure7] [-ablation] [-faults]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"tm3270/internal/experiments"
 	"tm3270/internal/faults"
+	"tm3270/internal/runner"
 	"tm3270/internal/workloads"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced workload sizes")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"concurrent simulations for the matrix experiments (1 = serial)")
 	t1 := flag.Bool("table1", false, "architecture summary")
 	t3 := flag.Bool("table3", false, "CABAC decoding measurements")
 	t4 := flag.Bool("table4", false, "area/power breakdown")
@@ -51,6 +62,10 @@ func main() {
 		meW, meH = 64, 48
 	}
 
+	// One artifact cache for the whole invocation: figure7 and the JSON
+	// bench compile overlapping (workload, target) pairs.
+	cache := runner.NewCache()
+
 	run := func(name string, f func() error) {
 		start := time.Now()
 		if err := f(); err != nil {
@@ -64,7 +79,7 @@ func main() {
 
 	if *jsonOut != "" {
 		run("bench-json", func() error {
-			rep, err := experiments.BenchJSON(p, *quick)
+			rep, err := experiments.BenchJSON(p, *quick, *parallel, cache)
 			if err != nil {
 				return err
 			}
@@ -135,12 +150,15 @@ func main() {
 	}
 	if all || *f7 {
 		run("figure7", func() error {
-			rows, err := experiments.Figure7(p)
+			rows, err := experiments.Figure7(p, *parallel, cache)
 			if err != nil {
 				return err
 			}
 			experiments.PrintFigure7(os.Stdout, rows)
 			return nil
 		})
+	}
+	if cs := cache.Stats(); cs.Hits > 0 {
+		fmt.Printf("[artifact cache: %d compiles, %d reused]\n", cs.Misses, cs.Hits)
 	}
 }

@@ -11,32 +11,43 @@
 // diagnostic (or any diagnostic at all under -strict), so the command
 // gates CI and pre-run pipelines.
 //
+// Workloads verify concurrently (-parallel N, default GOMAXPROCS)
+// through the runner's compile-artifact pipeline; reports print in
+// workload order regardless of parallelism.
+//
 // Usage:
 //
-//	tm3270lint [-config A|B|C|D|tm3260|tm3270] [-full] [-strict] [-q] [workload ...]
+//	tm3270lint [-config A|B|C|D|tm3260|tm3270] [-full] [-strict] [-q]
+//	           [-parallel N] [workload ...]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
-	"tm3270/internal/binverify"
 	"tm3270/internal/config"
-	"tm3270/internal/encode"
-	"tm3270/internal/isa"
-	"tm3270/internal/regalloc"
-	"tm3270/internal/sched"
-	"tm3270/internal/tmsim"
+	"tm3270/internal/runner"
 	"tm3270/internal/workloads"
 )
+
+// report is one workload's rendered verification outcome.
+type report struct {
+	text   string
+	failed bool
+	fatal  error // setup failures (unknown workload, regalloc, encode)
+}
 
 func main() {
 	cfg := flag.String("config", "D", "target: A, B, C, D, tm3260 or tm3270")
 	full := flag.Bool("full", false, "paper-scale workload sizes (default: small)")
 	strict := flag.Bool("strict", false, "treat warnings as failures")
 	quiet := flag.Bool("q", false, "print only workloads with findings")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent verifications")
 	flag.Parse()
 
 	var tgt config.Target
@@ -63,59 +74,82 @@ func main() {
 		names = workloads.Names()
 	}
 
-	failed := false
-	for _, name := range names {
-		w, err := workloads.ByName(name, p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		code, err := sched.Schedule(w.Prog, tgt)
-		if err != nil {
-			// Workloads using TM3270-only operations cannot be compiled
-			// for earlier targets; that is a property of the target, not a
-			// verification finding.
-			fmt.Printf("%-16s skipped: %v\n", name, err)
-			continue
-		}
-		rm, err := regalloc.Allocate(w.Prog)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: regalloc: %v\n", name, err)
-			os.Exit(2)
-		}
-		enc, err := encode.Encode(code, rm, tmsim.CodeBase)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: encode: %v\n", name, err)
-			os.Exit(2)
-		}
-		dec, err := encode.Decode(enc.Bytes, tmsim.CodeBase, len(code.Instrs))
-		if err != nil {
-			// A shipped binary that does not decode is itself a finding.
-			fmt.Printf("%-16s FAIL: image does not decode: %v\n", name, err)
-			failed = true
-			continue
-		}
-		var entry []isa.Reg
-		for v := range w.Args {
-			entry = append(entry, rm.Reg(v))
-		}
-		rep := binverify.Verify(dec, &tgt, &binverify.Options{EntryDefined: entry})
-		bad := rep.Errors() > 0 || (*strict && !rep.Clean())
-		switch {
-		case rep.Clean():
-			if !*quiet {
-				fmt.Printf("%-16s ok: %d instructions, %d bytes\n",
-					name, len(dec), enc.TotalBytes())
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	reports := make([]report, len(names))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				reports[i] = verifyOne(names[i], p, tgt, *strict, *quiet)
 			}
-		default:
-			fmt.Printf("%-16s %d error(s), %d warning(s):\n", name, rep.Errors(), rep.Warnings())
-			rep.Write(os.Stdout)
+		}()
+	}
+	for i := range names {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	failed := false
+	for _, r := range reports {
+		if r.fatal != nil {
+			fmt.Fprintln(os.Stderr, r.fatal)
+			os.Exit(2)
 		}
-		if bad {
+		fmt.Print(r.text)
+		if r.failed {
 			failed = true
 		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// verifyOne compiles and statically verifies a single workload,
+// rendering its report.
+func verifyOne(name string, p workloads.Params, tgt config.Target, strict, quiet bool) report {
+	w, err := workloads.ByName(name, p)
+	if err != nil {
+		return report{fatal: err}
+	}
+	art, err := runner.Compile(w.Prog, tgt)
+	if err != nil {
+		// Workloads using TM3270-only operations cannot be compiled
+		// for earlier targets; that is a property of the target, not a
+		// verification finding. Allocation/encoding failures, by
+		// contrast, are build-system faults.
+		var serr *runner.ScheduleError
+		if errors.As(err, &serr) {
+			return report{text: fmt.Sprintf("%-16s skipped: %v\n", name, err)}
+		}
+		return report{fatal: fmt.Errorf("%s: %w", name, err)}
+	}
+	rep, err := art.VerifyStatic(&tgt, art.EntryRegs(w.Args))
+	if rep == nil {
+		// A shipped binary that does not decode is itself a finding.
+		return report{text: fmt.Sprintf("%-16s FAIL: %v\n", name, err), failed: true}
+	}
+	var b strings.Builder
+	bad := rep.Errors() > 0 || (strict && !rep.Clean())
+	switch {
+	case rep.Clean():
+		if !quiet {
+			fmt.Fprintf(&b, "%-16s ok: %d instructions, %d bytes\n",
+				name, art.SchedInstrs(), art.CodeBytes())
+		}
+	default:
+		fmt.Fprintf(&b, "%-16s %d error(s), %d warning(s):\n", name, rep.Errors(), rep.Warnings())
+		rep.Write(&b)
+	}
+	return report{text: b.String(), failed: bad}
 }

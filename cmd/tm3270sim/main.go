@@ -22,6 +22,11 @@
 // legality, jump targets, ...) before the first cycle executes; any
 // error-severity diagnostic refuses the run.
 //
+// The execution knobs all route through the runner's per-run options
+// (WithWatchdog, WithDeadline, WithStrictMem, WithVerify,
+// WithTelemetry) — the same API the batch runner and the public
+// tm3270.RunContext use.
+//
 // Usage:
 //
 //	tm3270sim [-config A|B|C|D|tm3260|tm3270] [-full] [-list] [-verify]
@@ -31,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,15 +44,10 @@ import (
 	"os"
 	"strings"
 
-	"tm3270/internal/binverify"
 	"tm3270/internal/config"
-	"tm3270/internal/encode"
 	"tm3270/internal/faults"
-	"tm3270/internal/isa"
-	"tm3270/internal/mem"
 	"tm3270/internal/power"
-	"tm3270/internal/regalloc"
-	"tm3270/internal/sched"
+	"tm3270/internal/runner"
 	"tm3270/internal/telemetry"
 	"tm3270/internal/tmsim"
 	"tm3270/internal/workloads"
@@ -110,17 +111,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	code, err := sched.Schedule(w.Prog, tgt)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	rm, err := regalloc.Allocate(w.Prog)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	enc, err := encode.Encode(code, rm, tmsim.CodeBase)
+	art, err := runner.CompileWorkload(w, tgt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -128,56 +119,18 @@ func main() {
 	if *verify {
 		// Pre-run gate: decode the encoded image back and statically
 		// verify the machine code the simulator is about to execute.
-		dec, err := encode.Decode(enc.Bytes, tmsim.CodeBase, len(code.Instrs))
+		rep, err := art.VerifyStatic(&tgt, art.EntryRegs(w.Args))
+		if rep != nil {
+			rep.Write(os.Stderr)
+		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "verify: image does not decode: %v\n", err)
-			os.Exit(1)
-		}
-		var entry []isa.Reg
-		for v := range w.Args {
-			entry = append(entry, rm.Reg(v))
-		}
-		rep := binverify.Verify(dec, &tgt, &binverify.Options{EntryDefined: entry})
-		rep.Write(os.Stderr)
-		if rep.Errors() > 0 {
-			fmt.Fprintf(os.Stderr, "verify: %d error(s), %d warning(s); refusing to run\n",
-				rep.Errors(), rep.Warnings())
+			fmt.Fprintf(os.Stderr, "%v; refusing to run\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "verify: ok (%d instructions, %d warnings)\n",
-			len(dec), rep.Warnings())
+			art.SchedInstrs(), rep.Warnings())
 	}
 
-	image := mem.NewFunc()
-	if w.Init != nil {
-		if err := w.Init(image); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-	m, err := tmsim.New(code, rm, image)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if *traceN > 0 {
-		m.Trace = os.Stdout
-		m.TraceLimit = *traceN
-	}
-	var events *telemetry.Trace
-	if *traceJSON != "" {
-		events = telemetry.NewTrace(0)
-		m.SetEventTrace(events)
-	}
-	var profile *telemetry.Profile
-	if *profileN > 0 {
-		profile = m.EnableProfile()
-	}
-	m.StrictMem = *strict
-	m.Deadline = *deadline
-	if *watchdog > 0 {
-		m.MaxInstrs = *watchdog
-	}
 	var inj *faults.Injector
 	if *inject != "" {
 		spec, err := faults.ParseSpec(*inject)
@@ -186,11 +139,37 @@ func main() {
 			os.Exit(2)
 		}
 		inj = faults.New(spec, *seed)
-		inj.Arm(m)
 	}
-	for v, val := range w.Args {
-		m.SetReg(v, val)
+
+	// The per-run telemetry sink: the run fills the registry snapshot
+	// (and the profile, when enabled) even when it traps, so the
+	// machine-readable dumps stay available for fault forensics.
+	sink := &runner.Telemetry{EnableProfile: *profileN > 0}
+	if *traceJSON != "" {
+		sink.Trace = telemetry.NewTrace(0)
 	}
+
+	res, runErr := runner.RunContext(context.Background(), w, tgt,
+		runner.WithArtifact(art),
+		runner.WithWatchdog(*watchdog),
+		runner.WithDeadline(*deadline),
+		runner.WithStrictMem(*strict),
+		runner.WithTelemetry(sink),
+		runner.WithMachineSetup(func(m *tmsim.Machine) {
+			if *traceN > 0 {
+				m.Trace = os.Stdout
+				m.TraceLimit = *traceN
+			}
+			if inj != nil {
+				inj.Arm(m)
+			}
+		}))
+	if res == nil {
+		// Failed before a machine existed (init error).
+		fmt.Fprintln(os.Stderr, runErr)
+		os.Exit(1)
+	}
+
 	// When a machine-readable dump targets stdout ("-"), keep stdout
 	// pure JSON and divert the human-readable report to stderr.
 	out := io.Writer(os.Stdout)
@@ -198,9 +177,8 @@ func main() {
 		out = os.Stderr
 	}
 
-	runErr := m.Run()
 	if inj != nil {
-		inj.Disarm(m)
+		inj.Disarm(res.Machine)
 		for _, e := range inj.Events {
 			fmt.Fprintf(out, "injected    %s\n", e.Info)
 		}
@@ -208,14 +186,14 @@ func main() {
 	// The trace and counter dumps are debugging artifacts: emit them
 	// even when the run trapped, so the events leading to the fault are
 	// inspectable in Perfetto.
-	if events != nil {
-		if err := writeFile(*traceJSON, events.WriteJSON); err != nil {
+	if sink.Trace != nil {
+		if err := writeFile(*traceJSON, sink.Trace.WriteJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
 	if *statsJSON != "" {
-		if err := writeFile(*statsJSON, m.Registry().Snapshot().WriteJSON); err != nil {
+		if err := writeFile(*statsJSON, sink.Snapshot.WriteJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -229,19 +207,14 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	if w.Check != nil {
-		if err := w.Check(image); err != nil {
-			fmt.Fprintf(os.Stderr, "output check failed: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	s := m.Stats
+	s := res.Stats
+	m := res.Machine
 
 	fmt.Fprintf(out, "workload    %s (%s)\n", w.Name, w.Description)
 	fmt.Fprintf(out, "target      %s @ %d MHz\n", tgt.Name, tgt.FreqMHz)
 	fmt.Fprintf(out, "code        %d VLIW instructions, %d bytes (%.1f B/instr), %d source ops\n",
-		len(code.Instrs), enc.TotalBytes(),
-		float64(enc.TotalBytes())/float64(len(code.Instrs)), code.SrcOps)
+		art.SchedInstrs(), art.CodeBytes(),
+		float64(art.CodeBytes())/float64(art.SchedInstrs()), art.Code.SrcOps)
 	fmt.Fprintf(out, "executed    %d instrs, %d ops (%d guarded off)\n",
 		s.Instrs, s.Ops, s.Ops-s.ExecOps)
 	fmt.Fprintf(out, "cycles      %d  (CPI %.3f, OPI %.2f)\n", s.Cycles, s.CPI(), s.OPI())
@@ -259,21 +232,15 @@ func main() {
 	fmt.Fprintf(out, "icache      %d chunks, %d misses\n", m.IC.Stats.Chunks, m.IC.Stats.Misses)
 	fmt.Fprintf(out, "bus         %d reads / %d writes, %d B in / %d B out\n",
 		m.BIU.Reads, m.BIU.Writes, m.BIU.BytesRead, m.BIU.BytesWritten)
-	fmt.Fprintf(out, "time        %.3f ms at %d MHz\n", s.Seconds(&tgt)*1e3, tgt.FreqMHz)
+	fmt.Fprintf(out, "time        %.3f ms at %d MHz\n", res.Seconds()*1e3, tgt.FreqMHz)
 
-	act := power.Activity{
-		Utilization:    float64(s.Instrs) / float64(s.Cycles),
-		OPI:            s.OPI(),
-		MemOpsPerInstr: float64(s.LoadOps+s.StoreOps) / float64(s.Instrs),
-		BusBytesPerCyc: float64(m.BIU.TotalBytes()) / float64(s.Cycles),
-	}
-	if pr, err := power.Power(act, power.NominalVoltage); err == nil {
+	if pr, err := power.Power(res.Activity(), power.NominalVoltage); err == nil {
 		fmt.Fprintf(out, "power       %.3f mW/MHz at 1.2V -> %.1f mW at %d MHz\n",
 			pr.Total(), pr.MilliWattsAt(float64(tgt.FreqMHz)), tgt.FreqMHz)
 	}
-	if profile != nil {
+	if sink.Profile != nil {
 		fmt.Fprintln(out)
-		profile.Report(out, *profileN)
+		sink.Profile.Report(out, *profileN)
 	}
 }
 

@@ -6,8 +6,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"tm3270"
 )
@@ -57,14 +59,23 @@ func main() {
 			return nil
 		})
 
+	// Compile once per target (the Artifact is the complete, reusable
+	// build product) and run with per-run options: a wall-clock deadline
+	// and the compiled artifact itself.
 	for _, tgt := range []tm3270.Target{tm3270.TM3260(), tm3270.TM3270()} {
-		r, err := tm3270.Run(w, tgt)
+		art, err := tm3270.Compile(p, tgt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := tm3270.RunContext(context.Background(), w, tgt,
+			tm3270.WithArtifact(art),
+			tm3270.WithDeadline(10*time.Second))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-8s %7d instrs  %7d cycles  CPI %.2f  OPI %.2f  %5d B code  %.3f ms\n",
 			tgt.Name, r.Stats.Instrs, r.Stats.Cycles, r.Stats.CPI(), r.Stats.OPI(),
-			r.CodeBytes, r.Seconds()*1e3)
+			r.CodeBytes(), r.Seconds()*1e3)
 	}
 	fmt.Println("outputs verified against the Go reference on both targets")
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 
 	"tm3270/internal/config"
+	"tm3270/internal/runner"
 	"tm3270/internal/telemetry"
 	"tm3270/internal/tmsim"
 	"tm3270/internal/workloads"
@@ -45,21 +47,24 @@ func BenchWorkloadNames() []string {
 }
 
 // BenchJSON runs the bench workload set on the TM3270 (configuration D)
-// and assembles the report.
-func BenchJSON(p workloads.Params, quick bool) (*BenchReport, error) {
+// through the batch runner and assembles the report. Parallelism only
+// changes wall-clock time: every run is isolated, the simulator is
+// deterministic and workload entries are aggregated in job order, so
+// the report is byte-identical for any parallel setting (<=1 serial,
+// <=0 GOMAXPROCS) — asserted by TestBenchJSONParallelGolden. A non-nil
+// cache shares compile artifacts with other experiments of the process.
+func BenchJSON(p workloads.Params, quick bool, parallel int, cache *runner.Cache) (*BenchReport, error) {
 	t := config.ConfigD()
 	rep := &BenchReport{Schema: BenchSchema, Target: t.Name, Quick: quick}
-	for _, name := range BenchWorkloadNames() {
-		w, err := workloads.ByName(name, p)
-		if err != nil {
-			return nil, err
+	names := BenchWorkloadNames()
+	b := runner.Batch{Params: p, Parallel: parallel, Cache: cache}
+	for i, jr := range b.Run(context.Background(), runner.Matrix(names, []config.Target{t})) {
+		if jr.Err != nil {
+			return nil, jr.Err
 		}
-		r, err := Run(w, t)
-		if err != nil {
-			return nil, err
-		}
+		r := jr.Result
 		rep.Workloads = append(rep.Workloads, WorkloadResult{
-			Name:     name,
+			Name:     names[i],
 			Cycles:   r.Stats.Cycles,
 			Instrs:   r.Stats.Instrs,
 			CPI:      r.Stats.CPI(),

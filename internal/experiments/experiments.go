@@ -8,66 +8,26 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
 
 	"tm3270/internal/config"
-	"tm3270/internal/encode"
-	"tm3270/internal/mem"
 	"tm3270/internal/power"
-	"tm3270/internal/regalloc"
-	"tm3270/internal/sched"
-	"tm3270/internal/tmsim"
+	"tm3270/internal/runner"
 	"tm3270/internal/workloads"
 )
 
-// RunResult couples a workload run with its target.
-type RunResult struct {
-	Workload string
-	Target   config.Target
-	Stats    tmsim.Stats
-	Machine  *tmsim.Machine
-}
+// RunResult couples a workload run with its target; it is the runner's
+// result type (static code properties ride on the Artifact).
+type RunResult = runner.Result
 
-// Seconds returns the run's wall-clock time.
-func (r *RunResult) Seconds() float64 { return r.Stats.Seconds(&r.Target) }
-
-// Run executes one workload on one target and checks its output.
+// Run executes one workload on one target and checks its output. It is
+// the serial single-run path; matrix experiments go through
+// runner.Batch for bounded parallelism and artifact caching.
 func Run(w *workloads.Spec, t config.Target) (*RunResult, error) {
-	code, err := sched.Schedule(w.Prog, t)
-	if err != nil {
-		return nil, fmt.Errorf("%s on %s: %w", w.Name, t.Name, err)
-	}
-	if err := sched.Verify(code); err != nil {
-		return nil, fmt.Errorf("%s on %s: %w", w.Name, t.Name, err)
-	}
-	rm, err := regalloc.Allocate(w.Prog)
-	if err != nil {
-		return nil, err
-	}
-	image := mem.NewFunc()
-	if w.Init != nil {
-		if err := w.Init(image); err != nil {
-			return nil, fmt.Errorf("%s: init: %w", w.Name, err)
-		}
-	}
-	m, err := tmsim.New(code, rm, image)
-	if err != nil {
-		return nil, err
-	}
-	for v, val := range w.Args {
-		m.SetReg(v, val)
-	}
-	if err := m.Run(); err != nil {
-		return nil, fmt.Errorf("%s on %s: %w", w.Name, t.Name, err)
-	}
-	if w.Check != nil {
-		if err := w.Check(image); err != nil {
-			return nil, fmt.Errorf("%s on %s: %w", w.Name, t.Name, err)
-		}
-	}
-	return &RunResult{Workload: w.Name, Target: t, Stats: m.Stats, Machine: m}, nil
+	return runner.RunContext(context.Background(), w, t)
 }
 
 // Figure7Row is the relative performance of one workload across the
@@ -77,25 +37,27 @@ type Figure7Row struct {
 	RelB, RelC, RelD float64
 }
 
-// Figure7 runs the Table 5 workload set on configurations A–D.
-func Figure7(p workloads.Params) ([]Figure7Row, error) {
+// Figure7 runs the Table 5 workload x configuration A–D matrix (44
+// cells) on the batch runner with the given parallelism (<=1 serial;
+// <=0 GOMAXPROCS) and shared artifact cache (nil for a private one).
+// Each cell keeps the paper's "re-compilation only" methodology: a
+// freshly built workload with its own memory image, compiled per
+// target. Row aggregation is in job order, so results are independent
+// of the parallelism.
+func Figure7(p workloads.Params, parallel int, cache *runner.Cache) ([]Figure7Row, error) {
 	targets := []config.Target{config.ConfigA(), config.ConfigB(), config.ConfigC(), config.ConfigD()}
+	names := workloads.Table5Names()
+	b := runner.Batch{Params: p, Parallel: parallel, Cache: cache}
+	results := b.Run(context.Background(), runner.Matrix(names, targets))
 	var rows []Figure7Row
-	for _, name := range workloads.Table5Names() {
-		secs := make([]float64, 4)
-		for i, t := range targets {
-			// Each configuration gets a freshly built workload (its own
-			// memory image) and its own compilation — the paper's
-			// "re-compilation only" methodology.
-			w, err := workloads.ByName(name, p)
-			if err != nil {
-				return nil, err
+	for i, name := range names {
+		secs := make([]float64, len(targets))
+		for j := range targets {
+			jr := results[i*len(targets)+j]
+			if jr.Err != nil {
+				return nil, jr.Err
 			}
-			r, err := Run(w, t)
-			if err != nil {
-				return nil, err
-			}
-			secs[i] = r.Seconds()
+			secs[j] = jr.Result.Seconds()
 		}
 		rows = append(rows, Figure7Row{
 			Workload: name,
@@ -223,27 +185,13 @@ func Table4(w io.Writer, p workloads.Params) error {
 	if err != nil {
 		return err
 	}
-	act := activityOf(r)
-	meas, err := power.Power(act, power.NominalVoltage)
+	meas, err := power.Power(r.Activity(), power.NominalVoltage)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "measured mp3_synth: OPI %.2f, CPI %.2f -> %.3f mW/MHz at 1.2V (model reference point: OPI 4.5, CPI 1.0)\n",
 		r.Stats.OPI(), r.Stats.CPI(), meas.Total())
 	return nil
-}
-
-func activityOf(r *RunResult) power.Activity {
-	a := power.Activity{}
-	if r.Stats.Cycles > 0 {
-		a.Utilization = float64(r.Stats.Instrs) / float64(r.Stats.Cycles)
-		a.BusBytesPerCyc = float64(r.Machine.BIU.TotalBytes()) / float64(r.Stats.Cycles)
-	}
-	if r.Stats.Instrs > 0 {
-		a.OPI = r.Stats.OPI()
-		a.MemOpsPerInstr = float64(r.Stats.LoadOps+r.Stats.StoreOps) / float64(r.Stats.Instrs)
-	}
-	return a
 }
 
 // Table1 prints the architecture summary.
@@ -284,25 +232,17 @@ func Table6(w io.Writer) {
 func Figure1(w io.Writer, p workloads.Params) error {
 	spec := workloads.Memcpy(p)
 	t := config.TM3270()
-	code, err := sched.Schedule(spec.Prog, t)
-	if err != nil {
-		return err
-	}
-	rm, err := regalloc.Allocate(spec.Prog)
-	if err != nil {
-		return err
-	}
-	enc, err := encode.Encode(code, rm, tmsim.CodeBase)
+	art, err := runner.Compile(spec.Prog, t)
 	if err != nil {
 		return err
 	}
 	hist := map[int]int{}
-	for _, s := range enc.Size {
+	for _, s := range art.Enc.Size {
 		hist[s]++
 	}
 	fmt.Fprintf(w, "Figure 1: template-compressed encoding of %q: %d instructions, %d bytes (%.1f bytes/instr; empty=2B, maximal=28B)\n",
-		spec.Name, len(code.Instrs), enc.TotalBytes(),
-		float64(enc.TotalBytes())/float64(len(code.Instrs)))
+		spec.Name, art.SchedInstrs(), art.CodeBytes(),
+		float64(art.CodeBytes())/float64(art.SchedInstrs()))
 	for s := 2; s <= 28; s++ {
 		if hist[s] > 0 {
 			fmt.Fprintf(w, "  %2d-byte instructions: %d\n", s, hist[s])

@@ -18,7 +18,7 @@ func quick() workloads.Params {
 // TestFigure7Shape runs the whole Figure 7 matrix at test scale and
 // checks the paper's qualitative claims that survive downscaling.
 func TestFigure7Shape(t *testing.T) {
-	rows, err := experiments.Figure7(quick())
+	rows, err := experiments.Figure7(quick(), 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

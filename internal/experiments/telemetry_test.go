@@ -202,7 +202,7 @@ func TestEventTraceRoundTrip(t *testing.T) {
 // writes it, and re-reads it through the schema check.
 func TestBenchJSON(t *testing.T) {
 	p := workloads.Small()
-	rep, err := experiments.BenchJSON(p, true)
+	rep, err := experiments.BenchJSON(p, true, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

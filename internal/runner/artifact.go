@@ -1,0 +1,106 @@
+package runner
+
+import (
+	"fmt"
+
+	"tm3270/internal/binverify"
+	"tm3270/internal/config"
+	"tm3270/internal/encode"
+	"tm3270/internal/isa"
+	"tm3270/internal/prog"
+	"tm3270/internal/regalloc"
+	"tm3270/internal/sched"
+	"tm3270/internal/tmsim"
+	"tm3270/internal/workloads"
+)
+
+// Artifact is the complete build product of one compilation: the
+// scheduled code, the register allocation and the encoded image, all
+// linked at tmsim.CodeBase. An artifact is immutable after Compile and
+// safe to share: any number of machines — concurrent ones included —
+// can be loaded from the same artifact, since execution only reads it.
+type Artifact struct {
+	Code   *sched.Code
+	RegMap *regalloc.Map
+	Enc    *encode.Encoded
+}
+
+// ScheduleError marks a scheduling failure: the program cannot be
+// scheduled for the target at all (e.g. TM3270-only operations on a
+// TM3260), as opposed to later build-stage faults. Callers detect it
+// with errors.As to treat target incompatibility as a skip.
+type ScheduleError struct{ Err error }
+
+func (e *ScheduleError) Error() string { return "schedule: " + e.Err.Error() }
+
+// Unwrap exposes the scheduler's underlying error.
+func (e *ScheduleError) Unwrap() error { return e.Err }
+
+// Compile schedules, verifies, register-allocates and encodes a program
+// for a target. It is the single compilation entry point behind the
+// public tm3270.Compile and the batch runner's artifact cache.
+func Compile(p *prog.Program, t config.Target) (*Artifact, error) {
+	code, err := sched.Schedule(p, t)
+	if err != nil {
+		return nil, &ScheduleError{Err: err}
+	}
+	if err := sched.Verify(code); err != nil {
+		return nil, err
+	}
+	rm, err := regalloc.Allocate(p)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := encode.Encode(code, rm, tmsim.CodeBase)
+	if err != nil {
+		return nil, fmt.Errorf("encode: %w", err)
+	}
+	return &Artifact{Code: code, RegMap: rm, Enc: enc}, nil
+}
+
+// CompileWorkload compiles a workload's program for a target, wrapping
+// errors with the workload/target pair.
+func CompileWorkload(w *workloads.Spec, t config.Target) (*Artifact, error) {
+	a, err := Compile(w.Prog, t)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", w.Name, t.Name, err)
+	}
+	return a, nil
+}
+
+// CodeBytes returns the encoded size of the artifact.
+func (a *Artifact) CodeBytes() int { return a.Enc.TotalBytes() }
+
+// SchedInstrs returns the static VLIW instruction count.
+func (a *Artifact) SchedInstrs() int { return len(a.Code.Instrs) }
+
+// OPIStatic returns the static operation density of the schedule.
+func (a *Artifact) OPIStatic() float64 { return a.Code.OpsPerInstr() }
+
+// EntryRegs maps a workload's argument registers through the
+// artifact's allocation — the entry-defined set for static verification.
+func (a *Artifact) EntryRegs(args map[prog.VReg]uint32) []isa.Reg {
+	var entry []isa.Reg
+	for v := range args {
+		entry = append(entry, a.RegMap.Reg(v))
+	}
+	return entry
+}
+
+// VerifyStatic decodes the encoded image back and runs the
+// whole-program static verifier over the machine code a simulator
+// would execute. The report carries every diagnostic; the error is
+// non-nil when the image does not decode or any error-severity
+// diagnostic fired.
+func (a *Artifact) VerifyStatic(t *config.Target, entry []isa.Reg) (*binverify.Report, error) {
+	dec, err := encode.Decode(a.Enc.Bytes, tmsim.CodeBase, len(a.Code.Instrs))
+	if err != nil {
+		return nil, fmt.Errorf("verify: image does not decode: %w", err)
+	}
+	rep := binverify.Verify(dec, t, &binverify.Options{EntryDefined: entry})
+	if rep.Errors() > 0 {
+		return rep, fmt.Errorf("verify: %d error(s), %d warning(s)",
+			rep.Errors(), rep.Warnings())
+	}
+	return rep, nil
+}

@@ -1,0 +1,115 @@
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"tm3270/internal/config"
+	"tm3270/internal/workloads"
+)
+
+// Job names one cell of a workload x target matrix.
+type Job struct {
+	Workload string
+	Target   config.Target
+}
+
+// JobResult pairs a job with its outcome. On a clean run Err is nil;
+// a trap or failed output check sets Err and still carries the partial
+// Result (see RunContext); a build/compile failure leaves Result nil.
+type JobResult struct {
+	Job    Job
+	Result *Result
+	Err    error
+}
+
+// Batch is the concurrent matrix executor: it runs every job through
+// RunContext on a bounded worker pool, memoizing compilations in an
+// artifact cache and aggregating results in job order.
+//
+// Determinism: the simulator is deterministic and every run is fully
+// isolated (own spec instance, own memory image, own machine, own
+// telemetry sink), so the Parallel setting changes wall-clock time and
+// nothing else — results are identical to a serial run of the same
+// jobs, which the bench golden test asserts byte-for-byte.
+type Batch struct {
+	// Params scales the workloads (specs are built per run via
+	// workloads.ByName, never shared between runs).
+	Params workloads.Params
+	// Parallel bounds concurrent runs; <=0 selects GOMAXPROCS.
+	Parallel int
+	// Cache memoizes compile artifacts; nil allocates a private one.
+	Cache *Cache
+	// Options apply to every run of the batch.
+	Options []Option
+}
+
+// Matrix builds the full cross product of workload names and targets
+// in row-major order (all targets of the first workload, then the
+// next), matching the serial nesting of the paper's evaluation loops.
+func Matrix(names []string, targets []config.Target) []Job {
+	jobs := make([]Job, 0, len(names)*len(targets))
+	for _, n := range names {
+		for _, t := range targets {
+			jobs = append(jobs, Job{Workload: n, Target: t})
+		}
+	}
+	return jobs
+}
+
+// Run executes the jobs with bounded parallelism and returns their
+// results indexed exactly like jobs. Cancellation: a canceled ctx
+// aborts in-flight simulations cooperatively (TrapCanceled) and is
+// reported per job; Run itself always returns len(jobs) results.
+func (b *Batch) Run(ctx context.Context, jobs []Job) []JobResult {
+	workers := b.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	cache := b.Cache
+	if cache == nil {
+		cache = NewCache()
+	}
+
+	results := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i] = b.runOne(ctx, cache, jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single job: artifact from the cache, a fresh spec
+// instance for the run's private memory image and check state.
+func (b *Batch) runOne(ctx context.Context, cache *Cache, j Job) JobResult {
+	art, err := cache.Artifact(j.Workload, b.Params, j.Target)
+	if err != nil {
+		return JobResult{Job: j, Err: err}
+	}
+	w, err := workloads.ByName(j.Workload, b.Params)
+	if err != nil {
+		return JobResult{Job: j, Err: err}
+	}
+	opts := append(append([]Option(nil), b.Options...), WithArtifact(art))
+	res, err := RunContext(ctx, w, j.Target, opts...)
+	return JobResult{Job: j, Result: res, Err: err}
+}

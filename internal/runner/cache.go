@@ -1,0 +1,103 @@
+package runner
+
+import (
+	"sync"
+
+	"tm3270/internal/config"
+	"tm3270/internal/workloads"
+)
+
+// cacheKey identifies one compilation: the workload registry name, the
+// parameter set it was built with, and the full target configuration.
+// Params and Target are plain comparable structs, so a sweep that
+// mutates cache geometry or frequency gets its own entries even when
+// the target name collides.
+type cacheKey struct {
+	name   string
+	params workloads.Params
+	target config.Target
+}
+
+// cacheEntry memoizes one compilation. The once gives singleflight
+// semantics: concurrent requests for the same key share a single
+// compile instead of duplicating the work.
+type cacheEntry struct {
+	once sync.Once
+	art  *Artifact
+	err  error
+}
+
+// CacheStats is a point-in-time view of cache effectiveness.
+type CacheStats struct {
+	Hits     int64 // lookups served from a completed or in-flight compile
+	Misses   int64 // lookups that created the entry (and ran the compile)
+	Failures int64 // entries whose compile failed (counted once per key)
+}
+
+// Cache memoizes compile artifacts by (workload name, params, target).
+// Workload construction is deterministic — virtual register numbering,
+// scheduling and encoding depend only on the key — so an artifact
+// compiled from one spec instance is valid for every other instance
+// built from the same name and params (asserted by TestCompileDeterministic).
+// The zero value is not usable; use NewCache. All methods are safe for
+// concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	entries  map[cacheKey]*cacheEntry
+	hits     int64
+	misses   int64
+	failures int64
+}
+
+// NewCache returns an empty artifact cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// Artifact returns the memoized compilation of the named workload for
+// the target, compiling at most once per key. The returned artifact is
+// shared and immutable.
+func (c *Cache) Artifact(name string, p workloads.Params, t config.Target) (*Artifact, error) {
+	key := cacheKey{name: name, params: p, target: t}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		w, err := workloads.ByName(name, p)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.art, e.err = CompileWorkload(w, t)
+	})
+	// once.Do returns only after the compile completed, so e.err is
+	// stable here for every caller; the creator records the failure.
+	if !ok && e.err != nil {
+		c.mu.Lock()
+		c.failures++
+		c.mu.Unlock()
+	}
+	return e.art, e.err
+}
+
+// Stats returns the cache's hit/miss counts.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Failures: c.failures}
+}
+
+// Len returns the number of cached compilations (failed ones included).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

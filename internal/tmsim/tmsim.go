@@ -12,6 +12,7 @@
 package tmsim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -150,6 +151,14 @@ func New(code *sched.Code, rm *regalloc.Map, image *mem.Func) (*Machine, error) 
 	if err != nil {
 		return nil, err
 	}
+	return Load(code, rm, enc, image), nil
+}
+
+// Load builds a machine around an already-encoded image (a compile
+// artifact), skipping re-encoding. The code, register map and encoding
+// are read-only during execution, so one artifact may back any number
+// of concurrent machines; only the memory image is private per machine.
+func Load(code *sched.Code, rm *regalloc.Map, enc *encode.Encoded, image *mem.Func) *Machine {
 	t := code.Target
 	m := &Machine{
 		Code:   code,
@@ -164,7 +173,7 @@ func New(code *sched.Code, rm *regalloc.Map, image *mem.Func) (*Machine, error) 
 		m.PF = &prefetch.Unit{}
 	}
 	m.DC = dcache.New(&t, m.BIU, m.PF)
-	return m, nil
+	return m
 }
 
 // SetReg initializes a kernel argument register.
@@ -259,7 +268,13 @@ func effAddr(op *prog.Op, src *[4]uint32) (uint32, int) {
 // deadline expiry, and any internal panic of the simulator core — are
 // returned as a *TrapError carrying the PC, cycle, register dump and
 // the flight-recorder tail at the fault.
-func (m *Machine) Run() (err error) {
+func (m *Machine) Run() error { return m.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: the execution loop
+// polls ctx at the watchdog cadence (every 8192 issued instructions)
+// and aborts with a TrapCanceled whose Cause unwraps to ctx.Err(), so
+// callers can errors.Is against context.Canceled or DeadlineExceeded.
+func (m *Machine) RunContext(ctx context.Context) (err error) {
 	m.rec = newRecorder(m.RecorderDepth)
 	defer func() {
 		r := recover()
@@ -317,9 +332,17 @@ func (m *Machine) Run() (err error) {
 			return m.trap(TrapWatchdog, cycle, issue, idx,
 				fmt.Sprintf("exceeded %d instructions", maxInstrs))
 		}
-		if m.Deadline > 0 && issue&0x1fff == 0 && time.Since(start) > m.Deadline {
-			return m.trap(TrapDeadline, cycle, issue, idx,
-				fmt.Sprintf("exceeded wall-clock deadline %v", m.Deadline))
+		if issue&0x1fff == 0 {
+			if m.Deadline > 0 && time.Since(start) > m.Deadline {
+				return m.trap(TrapDeadline, cycle, issue, idx,
+					fmt.Sprintf("exceeded wall-clock deadline %v", m.Deadline))
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				t := m.trap(TrapCanceled, cycle, issue, idx,
+					fmt.Sprintf("run canceled: %v", cerr))
+				t.Cause = cerr
+				return t
+			}
 		}
 		// Commit in-flight register writes due at this instruction.
 		m.commit(issue)

@@ -35,6 +35,9 @@ const (
 	TrapDeadline
 	// TrapInternal is a recovered Go panic inside the simulator core.
 	TrapInternal
+	// TrapCanceled is a cooperative abort via the run's context
+	// (cancellation or context deadline).
+	TrapCanceled
 )
 
 // String returns the trap kind's diagnostic name.
@@ -56,6 +59,8 @@ func (k TrapKind) String() string {
 		return "deadline"
 	case TrapInternal:
 		return "internal-panic"
+	case TrapCanceled:
+		return "canceled"
 	}
 	return "none"
 }
@@ -96,7 +101,14 @@ type TrapError struct {
 
 	// Panic holds the recovered value for TrapInternal.
 	Panic any
+
+	// Cause is the underlying error for TrapCanceled (the context's
+	// Err), exposed through Unwrap so errors.Is sees through the trap.
+	Cause error
 }
+
+// Unwrap exposes the underlying cause (context cancellation), if any.
+func (e *TrapError) Unwrap() error { return e.Cause }
 
 // Error implements error with a one-line summary; Dump gives the full
 // diagnostic report.

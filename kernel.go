@@ -26,9 +26,12 @@ const (
 // NewKernel starts building a kernel program.
 func NewKernel(name string) *Builder { return prog.NewBuilder(name) }
 
-// NewWorkload wraps a built program into a runnable workload. init may
-// be nil; check may be nil to skip output validation. init reports
-// input-generation failures through its error instead of panicking.
+// NewWorkload wraps a built program into a runnable workload for Run,
+// RunContext or a Batch. init may be nil; check may be nil to skip
+// output validation. init reports input-generation failures through
+// its error instead of panicking. init and check run once per
+// execution against that run's private memory image, so a workload
+// whose closures only write the image is safe to run concurrently.
 func NewWorkload(name string, p *Program, args map[VReg]uint32,
 	init func(*Memory) error, check func(*Memory) error) *Workload {
 	return &workloads.Spec{

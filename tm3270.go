@@ -13,18 +13,24 @@
 // cache, power and code-size statistics. The paper's entire evaluation
 // (Tables 1–6, Figures 1–7) regenerates from these pieces; see
 // cmd/tm3270bench.
+//
+// Execution is context-aware and instance-scoped: RunContext takes
+// functional options (deadline, watchdog, strict memory, static
+// verification, per-run telemetry), and Batch runs whole workload x
+// target matrices concurrently with a compile-artifact cache while
+// keeping results byte-identical to a serial run.
 package tm3270
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"tm3270/internal/config"
-	"tm3270/internal/encode"
 	"tm3270/internal/mem"
 	"tm3270/internal/power"
 	"tm3270/internal/prog"
-	"tm3270/internal/regalloc"
-	"tm3270/internal/sched"
+	"tm3270/internal/runner"
 	"tm3270/internal/tmsim"
 	"tm3270/internal/workloads"
 )
@@ -69,95 +75,91 @@ func Table5(p Params) ([]*Workload, error) { return workloads.Table5(p) }
 // Stats is the execution report of one run.
 type Stats = tmsim.Stats
 
-// Result is the outcome of running a workload on a target.
-type Result struct {
-	Target  Target
-	Stats   Stats
-	Machine *tmsim.Machine
+// Artifact is the build product of Compile: scheduled code, register
+// allocation and the encoded image, immutable and shareable across any
+// number of concurrent runs (see RunContext's WithArtifact).
+type Artifact = runner.Artifact
 
-	// Static code properties.
-	CodeBytes   int
-	SchedInstrs int // scheduled VLIW instructions (static)
-	OPIStatic   float64
-}
+// Result is the outcome of running a workload on a target. Static code
+// properties live on the embedded Artifact (CodeBytes, SchedInstrs,
+// OPIStatic are forwarded as methods).
+type Result = runner.Result
 
-// Seconds returns the wall-clock time of the run at the target's
-// frequency.
-func (r *Result) Seconds() float64 { return r.Stats.Seconds(&r.Target) }
+// Telemetry is the per-run observability sink injected via
+// WithTelemetry: the caller arms an event trace and/or the profile,
+// the run fills the counter registry and snapshot. Instance-scoped by
+// construction, so concurrent runs cannot race on shared telemetry.
+type Telemetry = runner.Telemetry
 
-// Activity extracts the power-model operating point of the run.
-func (r *Result) Activity() power.Activity {
-	s := &r.Stats
-	a := power.Activity{}
-	if s.Cycles > 0 {
-		a.Utilization = float64(s.Instrs) / float64(s.Cycles)
-		a.BusBytesPerCyc = float64(r.Machine.BIU.TotalBytes()) / float64(s.Cycles)
-	}
-	if s.Instrs > 0 {
-		a.OPI = s.OPI()
-		a.MemOpsPerInstr = float64(s.LoadOps+s.StoreOps) / float64(s.Instrs)
-	}
-	return a
+// RunOption is a functional per-run option for RunContext.
+type RunOption = runner.Option
+
+// WithDeadline bounds the run to a wall-clock budget (deadline trap).
+func WithDeadline(d time.Duration) RunOption { return runner.WithDeadline(d) }
+
+// WithWatchdog bounds the run to n issued instructions (watchdog trap).
+func WithWatchdog(n int64) RunOption { return runner.WithWatchdog(n) }
+
+// WithStrictMem traps unmapped loads and null-page stores.
+func WithStrictMem(on bool) RunOption { return runner.WithStrictMem(on) }
+
+// WithVerify statically verifies the decoded binary before execution.
+func WithVerify(on bool) RunOption { return runner.WithVerify(on) }
+
+// WithTelemetry attaches a per-run observability sink.
+func WithTelemetry(t *Telemetry) RunOption { return runner.WithTelemetry(t) }
+
+// WithArtifact runs a precompiled artifact instead of compiling again.
+func WithArtifact(a *Artifact) RunOption { return runner.WithArtifact(a) }
+
+// Batch is the concurrent workload x target matrix executor: bounded
+// parallelism, compile-artifact caching, deterministic job-ordered
+// results. See internal/runner for the execution engine.
+type Batch = runner.Batch
+
+// BatchJob names one cell of a Batch matrix.
+type BatchJob = runner.Job
+
+// BatchResult pairs a BatchJob with its outcome.
+type BatchResult = runner.JobResult
+
+// ArtifactCache memoizes Compile by (workload, params, target); share
+// one across Batches to stop identical programs from recompiling.
+type ArtifactCache = runner.Cache
+
+// NewArtifactCache returns an empty compile-artifact cache.
+func NewArtifactCache() *ArtifactCache { return runner.NewCache() }
+
+// BatchMatrix builds the full workload x target cross product in
+// row-major order.
+func BatchMatrix(names []string, targets []Target) []BatchJob {
+	return runner.Matrix(names, targets)
 }
 
 // Compile schedules, register-allocates and encodes a program for a
-// target, returning the machine-ready code.
-func Compile(p *prog.Program, t Target) (*sched.Code, *regalloc.Map, *encode.Encoded, error) {
-	code, err := sched.Schedule(p, t)
+// target, returning the machine-ready artifact.
+func Compile(p *prog.Program, t Target) (*Artifact, error) {
+	a, err := runner.Compile(p, t)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("tm3270: schedule: %w", err)
+		return nil, fmt.Errorf("tm3270: %w", err)
 	}
-	if err := sched.Verify(code); err != nil {
-		return nil, nil, nil, fmt.Errorf("tm3270: %w", err)
-	}
-	rm, err := regalloc.Allocate(p)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("tm3270: %w", err)
-	}
-	enc, err := encode.Encode(code, rm, tmsim.CodeBase)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("tm3270: encode: %w", err)
-	}
-	return code, rm, enc, nil
+	return a, nil
 }
 
 // Run compiles w for t, executes it on the machine model, validates the
 // outputs against the workload's reference check and returns the
-// statistics.
+// statistics. It is RunContext without cancellation or options.
 func Run(w *Workload, t Target) (*Result, error) {
-	code, rm, enc, err := Compile(w.Prog, t)
-	if err != nil {
-		return nil, fmt.Errorf("%s on %s: %w", w.Name, t.Name, err)
-	}
-	image := mem.NewFunc()
-	if w.Init != nil {
-		if err := w.Init(image); err != nil {
-			return nil, fmt.Errorf("%s on %s: init: %w", w.Name, t.Name, err)
-		}
-	}
-	m, err := tmsim.New(code, rm, image)
-	if err != nil {
-		return nil, fmt.Errorf("%s on %s: %w", w.Name, t.Name, err)
-	}
-	for v, val := range w.Args {
-		m.SetReg(v, val)
-	}
-	if err := m.Run(); err != nil {
-		return nil, fmt.Errorf("%s on %s: %w", w.Name, t.Name, err)
-	}
-	if w.Check != nil {
-		if err := w.Check(image); err != nil {
-			return nil, fmt.Errorf("%s on %s: output check failed: %w", w.Name, t.Name, err)
-		}
-	}
-	return &Result{
-		Target:      t,
-		Stats:       m.Stats,
-		Machine:     m,
-		CodeBytes:   enc.TotalBytes(),
-		SchedInstrs: len(code.Instrs),
-		OPIStatic:   code.OpsPerInstr(),
-	}, nil
+	return RunContext(context.Background(), w, t)
+}
+
+// RunContext runs w on t under ctx with per-run options. A canceled or
+// expired context aborts the simulation cooperatively with a trap whose
+// Cause unwraps to ctx.Err(). On execution failures (trap, failed
+// output check) the partial Result is returned alongside the error so
+// machine state stays inspectable.
+func RunContext(ctx context.Context, w *Workload, t Target, opts ...RunOption) (*Result, error) {
+	return runner.RunContext(ctx, w, t, opts...)
 }
 
 // Reference executes a workload on the sequential reference interpreter

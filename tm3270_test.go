@@ -59,7 +59,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 		if r.Stats.Instrs == 0 || r.Stats.CPI() < 1 {
 			t.Errorf("%s: implausible stats", tgt.Name)
 		}
-		if r.CodeBytes == 0 || r.SchedInstrs == 0 {
+		if r.CodeBytes() == 0 || r.SchedInstrs() == 0 {
 			t.Errorf("%s: missing code stats", tgt.Name)
 		}
 		if r.Seconds() <= 0 {
@@ -116,10 +116,10 @@ func TestCompileErrorsSurface(t *testing.T) {
 	d, addr, f := b.Reg(), b.Reg(), b.Reg()
 	b.LdFrac8(d, addr, f)
 	p := b.MustProgram()
-	if _, _, _, err := tm3270.Compile(p, tm3270.TM3260()); err == nil {
+	if _, err := tm3270.Compile(p, tm3270.TM3260()); err == nil {
 		t.Error("TM3260 accepted a collapsed load")
 	}
-	if _, _, _, err := tm3270.Compile(p, tm3270.TM3270()); err != nil {
+	if _, err := tm3270.Compile(p, tm3270.TM3270()); err != nil {
 		t.Errorf("TM3270 rejected a collapsed load: %v", err)
 	}
 }
