@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench campaign bench-json bench-par lint tmvet binlint
+.PHONY: check build vet test race fuzz bench campaign cosim cover bench-json bench-par lint tmvet binlint
 
 # Tier-1 gate: lint (vet + tmvet + gofmt), the full test suite under the
 # race detector (includes the concurrent-runner and batch determinism
-# tests in internal/runner), the machine-readable quick bench (written
-# and schema-checked), and the serial-vs-parallel byte-identity proof.
-check: lint race bench-json bench-par
+# tests in internal/runner), the per-package coverage-floor gate, the
+# machine-readable quick bench (written and schema-checked), and the
+# serial-vs-parallel byte-identity proof.
+check: lint race cover bench-json bench-par
 
 build:
 	$(GO) build ./...
@@ -41,6 +42,18 @@ bench:
 
 campaign:
 	$(GO) run ./cmd/tm3270bench -faults
+
+# cosim: the differential conformance campaign — every workload plus
+# 2000 generated programs, pipeline model vs reference model, all four
+# targets. Exits nonzero on any divergence.
+cosim:
+	$(GO) run ./cmd/tm3270bench -quick -cosim
+
+# cover: per-package statement coverage against the checked-in floors
+# (coverage_floors.txt), enforced by cmd/covergate.
+cover:
+	$(GO) test -count=1 -cover ./... > COVER.out 2>&1 || (cat COVER.out; rm -f COVER.out; exit 1)
+	@$(GO) run ./cmd/covergate < COVER.out; s=$$?; rm -f COVER.out; exit $$s
 
 # Quick-mode machine-readable bench result. The bench validates the
 # written file (schema version + stall-accounting identity) and fails

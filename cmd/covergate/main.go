@@ -1,0 +1,112 @@
+// Command covergate enforces per-package coverage floors. It reads
+// `go test -cover ./...` output on stdin, parses each package's
+// statement coverage, and compares it against the checked-in floors
+// file (one `import/path minimum-percent` pair per line, `#` comments).
+// Any gated package below its floor — or missing from the input, which
+// is how a deleted test suite would present — fails the gate.
+//
+// The floors are a ratchet, not a target: they sit a few points below
+// the measured baseline (see EXPERIMENTS.md) so routine changes pass,
+// while a change that guts a tier-1 package's tests fails `make check`.
+//
+// Usage:
+//
+//	go test -count=1 -cover ./... | covergate [-floors coverage_floors.txt]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// coverRe matches `ok <pkg> <time> coverage: <pct>% of statements`.
+var coverRe = regexp.MustCompile(`^ok\s+(\S+)\s+.*coverage:\s+([0-9.]+)% of statements`)
+
+func parseFloors(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	floors := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"package floor\", got %q", path, line, text)
+		}
+		pct, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || pct < 0 || pct > 100 {
+			return nil, fmt.Errorf("%s:%d: bad floor %q", path, line, fields[1])
+		}
+		floors[fields[0]] = pct
+	}
+	return floors, sc.Err()
+}
+
+func main() {
+	floorsPath := flag.String("floors", "coverage_floors.txt", "per-package floors file")
+	flag.Parse()
+
+	floors, err := parseFloors(*floorsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(2)
+	}
+
+	got := make(map[string]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		// Echo the test output through so the gate is transparent in CI
+		// logs, then harvest coverage lines.
+		fmt.Println(sc.Text())
+		if m := coverRe.FindStringSubmatch(sc.Text()); m != nil {
+			pct, err := strconv.ParseFloat(m[2], 64)
+			if err == nil {
+				got[m[1]] = pct
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(2)
+	}
+
+	pkgs := make([]string, 0, len(floors))
+	for pkg := range floors {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	failed := 0
+	fmt.Printf("\ncovergate: %d gated packages (floors from %s)\n", len(pkgs), *floorsPath)
+	for _, pkg := range pkgs {
+		pct, ok := got[pkg]
+		switch {
+		case !ok:
+			fmt.Printf("  FAIL %-36s no coverage reported (floor %.1f%%)\n", pkg, floors[pkg])
+			failed++
+		case pct < floors[pkg]:
+			fmt.Printf("  FAIL %-36s %.1f%% < floor %.1f%%\n", pkg, pct, floors[pkg])
+			failed++
+		default:
+			fmt.Printf("  ok   %-36s %.1f%% >= %.1f%%\n", pkg, pct, floors[pkg])
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "covergate: %d package(s) below their coverage floor\n", failed)
+		os.Exit(1)
+	}
+}

@@ -17,7 +17,7 @@
 //
 //	tm3270bench [-quick] [-parallel N] [-json out.json] [-table1]
 //	            [-table3] [-table4] [-table6] [-figure1] [-figure3]
-//	            [-figure7] [-ablation] [-faults]
+//	            [-figure7] [-ablation] [-faults] [-cosim]
 package main
 
 import (
@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"time"
 
+	"tm3270/internal/cosim"
 	"tm3270/internal/experiments"
 	"tm3270/internal/faults"
 	"tm3270/internal/runner"
@@ -47,10 +48,11 @@ func main() {
 	ab := flag.Bool("ablation", false, "motion-estimation ablation")
 	sweep := flag.Bool("sweep", false, "cache capacity x line-size design sweep")
 	fc := flag.Bool("faults", false, "seeded fault-injection campaign")
+	csim := flag.Bool("cosim", false, "differential conformance campaign (pipeline vs reference model)")
 	jsonOut := flag.String("json", "", "write the machine-readable bench result to this file")
 	flag.Parse()
 
-	all := !(*t1 || *t3 || *t4 || *t6 || *f1 || *f3 || *f7 || *ab || *sweep || *fc || *jsonOut != "")
+	all := !(*t1 || *t3 || *t4 || *t6 || *f1 || *f3 || *f7 || *ab || *sweep || *fc || *csim || *jsonOut != "")
 	p := workloads.Full()
 	meW, meH := 352, 288
 	if *quick {
@@ -145,6 +147,28 @@ func main() {
 				return err
 			}
 			sres.PrintSummary(os.Stdout)
+			// And the combined gate: statically-missed mutants execute on
+			// the architectural reference model and diff against the
+			// golden run.
+			fmt.Println()
+			dres, err := faults.RunDifferentialCampaign(faults.StaticConfig{}, nil)
+			if err != nil {
+				return err
+			}
+			dres.PrintSummary(os.Stdout)
+			return nil
+		})
+	}
+	if all || *csim {
+		run("cosim", func() error {
+			camp, err := cosim.RunCampaign(cosim.CampaignConfig{Params: &p})
+			if err != nil {
+				return err
+			}
+			camp.PrintSummary(os.Stdout)
+			if len(camp.Divergent) > 0 {
+				return fmt.Errorf("%d divergent runs", len(camp.Divergent))
+			}
 			return nil
 		})
 	}

@@ -30,7 +30,7 @@
 // Usage:
 //
 //	tm3270sim [-config A|B|C|D|tm3260|tm3270] [-full] [-list] [-verify]
-//	          [-inject kind[:rate[:delay]]] [-seed n] [-deadline d]
+//	          [-cosim] [-inject kind[:rate[:delay]]] [-seed n] [-deadline d]
 //	          [-strict] [-watchdog n] [-stats-json file] [-trace-json file]
 //	          [-profile n] <workload>
 package main
@@ -45,6 +45,7 @@ import (
 	"strings"
 
 	"tm3270/internal/config"
+	"tm3270/internal/cosim"
 	"tm3270/internal/faults"
 	"tm3270/internal/power"
 	"tm3270/internal/runner"
@@ -72,6 +73,7 @@ func main() {
 	strict := flag.Bool("strict", false, "trap on unmapped loads and null-page stores")
 	watchdog := flag.Int64("watchdog", 0, "instruction-count watchdog (0 = default)")
 	verify := flag.Bool("verify", false, "statically verify the decoded binary before running (exit on errors)")
+	cosimRun := flag.Bool("cosim", false, "co-simulate against the architectural reference model and diff final state")
 	statsJSON := flag.String("stats-json", "", "write the counter registry snapshot as JSON (\"-\" = stdout)")
 	traceJSON := flag.String("trace-json", "", "write a Perfetto-loadable trace-event JSON file")
 	profileN := flag.Int("profile", 0, "print the top-N cycle-attribution hotspots")
@@ -109,6 +111,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *cosimRun {
+		res, err := cosim.RunWorkload(w, tgt, cosim.Options{MaxInstrs: *watchdog})
+		switch {
+		case err != nil:
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		case res == nil:
+			fmt.Printf("cosim: %s does not schedule on %s; skipped\n", w.Name, tgt.Name)
+		case res.Div != nil:
+			fmt.Fprintf(os.Stderr, "cosim: %s on %s DIVERGED: %s\n", w.Name, tgt.Name, res.Div)
+			os.Exit(1)
+		default:
+			fmt.Printf("cosim: %s on %s agrees over %d instructions\n", w.Name, tgt.Name, res.Instrs)
+		}
+		return
 	}
 
 	art, err := runner.CompileWorkload(w, tgt)

@@ -1,0 +1,108 @@
+package cosim
+
+import (
+	"fmt"
+	"io"
+
+	"tm3270/internal/config"
+	"tm3270/internal/workloads"
+)
+
+// CampaignConfig scales a conformance campaign.
+type CampaignConfig struct {
+	// Params sizes the shipped workloads (nil = workloads.Small()).
+	Params *workloads.Params
+	// Seeds is the number of generated programs per target (default 500).
+	Seeds int
+	// GenOps is the operation budget per generated program (default 64).
+	GenOps int
+	// Targets defaults to the paper's A–D configurations.
+	Targets []config.Target
+	// Opts applies to every run.
+	Opts Options
+}
+
+func (c *CampaignConfig) fill() {
+	if c.Params == nil {
+		p := workloads.Small()
+		c.Params = &p
+	}
+	if c.Seeds == 0 {
+		c.Seeds = 500
+	}
+	if c.GenOps == 0 {
+		c.GenOps = 64
+	}
+	if len(c.Targets) == 0 {
+		c.Targets = []config.Target{
+			config.ConfigA(), config.ConfigB(), config.ConfigC(), config.ConfigD(),
+		}
+	}
+}
+
+// Campaign aggregates a conformance sweep: every shipped workload and
+// Seeds generated programs, co-simulated on every target.
+type Campaign struct {
+	Workloads int   // workload/target pairs co-simulated (schedule skips excluded)
+	Skipped   int   // workload/target pairs the target cannot schedule
+	Generated int   // generated program runs
+	Instrs    int64 // total instructions retired by the pipeline model
+	Divergent []*Result
+}
+
+// RunCampaign executes the sweep. Divergences are collected, not
+// returned as errors; harness failures (compile errors, init failures)
+// abort immediately.
+func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
+	cfg.fill()
+	out := &Campaign{}
+	for _, name := range workloads.Names() {
+		w, err := workloads.ByName(name, *cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		for i := range cfg.Targets {
+			res, err := RunWorkload(w, cfg.Targets[i], cfg.Opts)
+			if err != nil {
+				return nil, err
+			}
+			if res == nil {
+				out.Skipped++
+				continue
+			}
+			out.Workloads++
+			out.Instrs += res.Instrs
+			if res.Div != nil {
+				out.Divergent = append(out.Divergent, res)
+			}
+		}
+	}
+	for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+		for i := range cfg.Targets {
+			res, err := RunGenerated(seed, cfg.Targets[i], cfg.GenOps, cfg.Opts)
+			if err != nil {
+				return nil, err
+			}
+			out.Generated++
+			out.Instrs += res.Instrs
+			if res.Div != nil {
+				out.Divergent = append(out.Divergent, res)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintSummary writes the campaign outcome in the bench tool's format.
+func (c *Campaign) PrintSummary(w io.Writer) {
+	fmt.Fprintf(w, "cosim: %d workload runs (%d skipped), %d generated runs, %d instructions\n",
+		c.Workloads, c.Skipped, c.Generated, c.Instrs)
+	if len(c.Divergent) == 0 {
+		fmt.Fprintf(w, "cosim: zero divergences\n")
+		return
+	}
+	fmt.Fprintf(w, "cosim: %d DIVERGENT runs:\n", len(c.Divergent))
+	for _, r := range c.Divergent {
+		fmt.Fprintf(w, "  %s on %s: %s\n", r.Name, r.Target, r.Div)
+	}
+}

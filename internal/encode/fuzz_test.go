@@ -9,6 +9,7 @@ import (
 	"tm3270/internal/encode"
 	"tm3270/internal/isa"
 	"tm3270/internal/prog"
+	"tm3270/internal/progen"
 	"tm3270/internal/regalloc"
 	"tm3270/internal/sched"
 )
@@ -34,6 +35,14 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{0xff, 0xc7, 0xd0}, uint8(1))
 	// Reserved 42-bit marker 7 right after the template.
 	f.Add([]byte{0xff, 0xf8}, uint8(1))
+	// Generator-produced kernels: real encoded images with loops,
+	// guarded ops, two-slot supers and MMIO traffic reach much deeper
+	// template chains than the tiny hand-built kernel, so bit flips on
+	// them explore the decoder's compressed forms from valid starts.
+	for seed := int64(1); seed <= 4; seed++ {
+		img, n := generatedKernel(f, seed)
+		f.Add(img, n)
+	}
 	f.Fuzz(func(t *testing.T, img []byte, n uint8) {
 		dec, err := encode.Decode(img, 0x4000, int(n)%64)
 		if err != nil {
@@ -84,6 +93,31 @@ func encodedKernel(f *testing.F) []byte {
 		f.Fatal(err)
 	}
 	return enc.Bytes
+}
+
+// generatedKernel encodes one progen program for the fuzz corpus and
+// returns its image with the instruction count capped to the corpus
+// entry's modulus.
+func generatedKernel(f *testing.F, seed int64) ([]byte, uint8) {
+	tgt := config.TM3270()
+	p := progen.Generate(progen.Config{Seed: seed, Target: &tgt, Ops: 48})
+	code, err := sched.Schedule(p, tgt)
+	if err != nil {
+		f.Fatal(err)
+	}
+	rm, err := regalloc.Allocate(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc, err := encode.Encode(code, rm, 0x4000)
+	if err != nil {
+		f.Fatal(err)
+	}
+	n := len(code.Instrs)
+	if n > 63 {
+		n = 63 // the harness decodes int(n)%64 instructions
+	}
+	return enc.Bytes, uint8(n)
 }
 
 // TestFuzzRoundTrip builds random programs spanning every encoding

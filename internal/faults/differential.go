@@ -1,0 +1,240 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"tm3270/internal/binverify"
+	"tm3270/internal/encode"
+	"tm3270/internal/isa"
+	"tm3270/internal/mem"
+	"tm3270/internal/refmodel"
+	"tm3270/internal/regalloc"
+	"tm3270/internal/sched"
+	"tm3270/internal/tmsim"
+	"tm3270/internal/workloads"
+)
+
+// DiffRow aggregates one workload's mutants: the static classification
+// plus the differential fate of the statically-missed survivors. The
+// reference model executes each missed mutant and its final state is
+// diffed against the golden (unmutated) run — a trap, a register, a
+// memory byte or an instruction-count difference all count as detected.
+type DiffRow struct {
+	Workload string
+	Bytes    int
+	Mutants  int
+	Static   [4]int // indexed by StaticOutcome
+	Detected int    // statically-missed mutants the differential run catches
+	Silent   int    // statically-missed mutants indistinguishable from golden
+}
+
+// DiffResult is the outcome of a combined static+differential campaign.
+type DiffResult struct {
+	Rows []DiffRow
+}
+
+func (r *DiffResult) count(f func(*DiffRow) int) int {
+	n := 0
+	for i := range r.Rows {
+		n += f(&r.Rows[i])
+	}
+	return n
+}
+
+// CombinedRate is the fraction of decodable stream-changing mutants
+// caught by either gate: (flagged + detected) / (flagged + missed).
+// The denominator matches StaticResult.DetectionRate, so the two rates
+// are directly comparable.
+func (r *DiffResult) CombinedRate() float64 {
+	flagged := r.count(func(d *DiffRow) int { return d.Static[StaticFlagged] })
+	missed := r.count(func(d *DiffRow) int { return d.Static[StaticMissed] })
+	if flagged+missed == 0 {
+		return 0
+	}
+	det := r.count(func(d *DiffRow) int { return d.Detected })
+	return float64(flagged+det) / float64(flagged+missed)
+}
+
+// StaticRate is the static-only detection rate over the same mutants.
+func (r *DiffResult) StaticRate() float64 {
+	flagged := r.count(func(d *DiffRow) int { return d.Static[StaticFlagged] })
+	missed := r.count(func(d *DiffRow) int { return d.Static[StaticMissed] })
+	if flagged+missed == 0 {
+		return 0
+	}
+	return float64(flagged) / float64(flagged+missed)
+}
+
+// PrintSummary renders per-workload rows and both detection rates.
+func (r *DiffResult) PrintSummary(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %8s %9s %8s %8s %8s %9s %8s\n",
+		"workload", "mutants", "rejected", "masked", "flagged", "missed", "detected", "silent")
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		fmt.Fprintf(w, "%-14s %8d %9d %8d %8d %8d %9d %8d\n", row.Workload, row.Mutants,
+			row.Static[StaticRejected], row.Static[StaticMasked],
+			row.Static[StaticFlagged], row.Static[StaticMissed],
+			row.Detected, row.Silent)
+	}
+	fmt.Fprintf(w, "differential campaign: static detection %.1f%%, combined static+differential detection %.1f%% of decodable stream-changing mutants\n",
+		100*r.StaticRate(), 100*r.CombinedRate())
+}
+
+// RunDifferentialCampaign reruns the static mutation campaign and
+// additionally executes every statically-missed mutant on the
+// architectural reference model, diffing its final state against the
+// golden run of the pristine binary. It measures what the differential
+// harness adds on top of the static verifier.
+func RunDifferentialCampaign(cfg StaticConfig, w io.Writer) (*DiffResult, error) {
+	cfg.fill()
+	res := &DiffResult{}
+	for _, name := range cfg.Workloads {
+		row, err := diffOne(name, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("faults: differential %s: %w", name, err)
+		}
+		res.Rows = append(res.Rows, *row)
+		if w != nil {
+			fmt.Fprintf(w, "%-14s %d mutants: %d flagged statically, %d missed -> %d detected differentially, %d silent\n",
+				row.Workload, row.Mutants, row.Static[StaticFlagged],
+				row.Static[StaticMissed], row.Detected, row.Silent)
+		}
+	}
+	return res, nil
+}
+
+// golden is the reference-model outcome of the pristine binary.
+type golden struct {
+	issue int64
+	regs  [isa.NumRegs]uint32
+	mem   *refmodel.Mem
+}
+
+func diffOne(name string, cfg StaticConfig) (*DiffRow, error) {
+	w, err := workloads.ByName(name, *cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	code, err := sched.Schedule(w.Prog, *cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+	rm, err := regalloc.Allocate(w.Prog)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := encode.Encode(code, rm, tmsim.CodeBase)
+	if err != nil {
+		return nil, err
+	}
+	n := len(code.Instrs)
+	baseline, err := encode.Decode(enc.Bytes, tmsim.CodeBase, n)
+	if err != nil {
+		return nil, fmt.Errorf("baseline decode: %w", err)
+	}
+	var entry []isa.Reg
+	for v := range w.Args {
+		entry = append(entry, rm.Reg(v))
+	}
+	opts := &binverify.Options{EntryDefined: entry}
+	if rep := binverify.Verify(baseline, cfg.Target, opts); !rep.Clean() {
+		return nil, fmt.Errorf("baseline image is not verifier-clean (%d diagnostics)", len(rep.Diags))
+	}
+
+	initImage := mem.NewFunc()
+	if w.Init != nil {
+		if err := w.Init(initImage); err != nil {
+			return nil, fmt.Errorf("init: %w", err)
+		}
+	}
+	newRef := func(dec []encode.DecInstr) *refmodel.Machine {
+		image := refmodel.NewMem()
+		for _, pa := range initImage.PageAddrs() {
+			image.WriteBytes(pa, initImage.ReadBytes(pa, 1<<12))
+		}
+		ref := refmodel.New(dec, *cfg.Target, image)
+		for v, val := range w.Args {
+			ref.SetReg(rm.Reg(v), val)
+		}
+		return ref
+	}
+
+	ref := newRef(baseline)
+	if t := ref.Run(); t != nil {
+		return nil, fmt.Errorf("golden run trapped: %v", t)
+	}
+	gold := &golden{issue: ref.Issue(), regs: ref.Regs(), mem: ref.Mem}
+	// Mutants that wander into long loops are cut off well past the
+	// golden instruction count; hitting the watchdog is itself a
+	// detectable difference from the golden (trap-free) run.
+	budget := 4*gold.issue + 10_000
+
+	row := &DiffRow{Workload: name, Bytes: len(enc.Bytes), Mutants: cfg.Mutants}
+	img := make([]byte, len(enc.Bytes))
+	for seed := int64(1); seed <= int64(cfg.Mutants); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		copy(img, enc.Bytes)
+		bit := rng.Intn(len(img) * 8)
+		img[bit/8] ^= 1 << (bit % 8)
+
+		dec, err := encode.Decode(img, tmsim.CodeBase, n)
+		switch {
+		case err != nil:
+			row.Static[StaticRejected]++
+			continue
+		case streamsEqual(dec, baseline):
+			row.Static[StaticMasked]++
+			continue
+		case !binverify.Verify(dec, cfg.Target, opts).Clean():
+			row.Static[StaticFlagged]++
+			continue
+		}
+		row.Static[StaticMissed]++
+
+		mut := newRef(dec)
+		mut.MaxInstrs = budget
+		if diffDetects(mut, gold) {
+			row.Detected++
+		} else {
+			row.Silent++
+		}
+	}
+	return row, nil
+}
+
+// diffDetects runs the mutant and reports whether its outcome differs
+// from the golden run in any architecturally visible way.
+func diffDetects(mut *refmodel.Machine, gold *golden) bool {
+	if t := mut.Run(); t != nil {
+		return true // golden run is trap-free
+	}
+	if mut.Issue() != gold.issue {
+		return true
+	}
+	if mut.Regs() != gold.regs {
+		return true
+	}
+	return !memEqual(mut.Mem, gold.mem)
+}
+
+// memEqual compares two reference-model images over the union of their
+// touched pages.
+func memEqual(a, b *refmodel.Mem) bool {
+	pages := map[uint32]bool{}
+	for _, pa := range a.PageAddrs() {
+		pages[pa] = true
+	}
+	for _, pa := range b.PageAddrs() {
+		pages[pa] = true
+	}
+	for pa := range pages {
+		for i := uint32(0); i < 1<<12; i++ {
+			if a.ByteAt(pa+i) != b.ByteAt(pa+i) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,59 @@
+package faults_test
+
+import (
+	"testing"
+
+	"tm3270/internal/faults"
+)
+
+// TestDifferentialCampaign runs the full combined campaign (the same
+// four workloads and 64 seeded mutants as the static baseline) and
+// asserts the headline property: executing statically-missed mutants on
+// the reference model and diffing against the golden run strictly
+// raises the detection rate over the static verifier alone.
+func TestDifferentialCampaign(t *testing.T) {
+	res, err := faults.RunDifferentialCampaign(faults.StaticConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, combined := res.StaticRate(), res.CombinedRate()
+	if combined <= static {
+		t.Errorf("combined detection %.3f not above static %.3f", combined, static)
+	}
+	// The static classification must be byte-identical to the static-only
+	// campaign: the differential pass only examines its leftovers.
+	ref, err := faults.RunStaticCampaign(faults.StaticConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := static, ref.DetectionRate(); got != want {
+		t.Errorf("static rate through the differential campaign %.4f, want %.4f", got, want)
+	}
+	for i, row := range res.Rows {
+		if row.Detected+row.Silent != row.Static[faults.StaticMissed] {
+			t.Errorf("%s: detected %d + silent %d != missed %d",
+				row.Workload, row.Detected, row.Silent, row.Static[faults.StaticMissed])
+		}
+		want := ref.Rows[i]
+		if row.Workload != want.Workload || row.Static != want.Counts {
+			t.Errorf("%s: static classification %v, want %v (%s)",
+				row.Workload, row.Static, want.Counts, want.Workload)
+		}
+	}
+}
+
+// TestDifferentialDeterminism: same seeds, same mutants, same rates.
+func TestDifferentialDeterminism(t *testing.T) {
+	cfg := faults.StaticConfig{Workloads: []string{"memset"}, Mutants: 32}
+	a, err := faults.RunDifferentialCampaign(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := faults.RunDifferentialCampaign(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 1 || len(b.Rows) != 1 || a.Rows[0] != b.Rows[0] {
+		t.Errorf("campaign not deterministic: %+v vs %+v", a.Rows, b.Rows)
+	}
+}

@@ -1,0 +1,473 @@
+package refmodel
+
+import (
+	"math"
+	"math/bits"
+
+	"tm3270/internal/cabac"
+	"tm3270/internal/isa"
+)
+
+// The operation semantics below are written independently of the isa
+// package's Exec functions: the co-simulation harness cross-checks the
+// two implementations against each other, so sharing helper code would
+// turn a shared bug into a silent agreement. Only the CABAC probability
+// tables are read from the cabac package — they are ISA constants.
+
+func sat32(v int64) uint32 {
+	switch {
+	case v > math.MaxInt32:
+		return 0x7fffffff
+	case v < math.MinInt32:
+		return 0x80000000
+	}
+	return uint32(v)
+}
+
+// sat16 clips to the signed 16-bit range and returns the low half image.
+func sat16(v int64) uint32 {
+	switch {
+	case v > 32767:
+		return 0x7fff
+	case v < -32768:
+		return 0x8000
+	}
+	return uint32(v) & 0xffff
+}
+
+func sat8u(v int32) uint32 {
+	switch {
+	case v > 255:
+		return 255
+	case v < 0:
+		return 0
+	}
+	return uint32(v)
+}
+
+// clampS clips a signed value to [-2^n, 2^n-1]; widths above 30 degrade
+// to 30, the widest representable symmetric range.
+func clampS(v int32, n uint32) uint32 {
+	if n > 30 {
+		n = 30
+	}
+	lo, hi := -(int32(1) << n), int32(1)<<n-1
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return uint32(v)
+}
+
+// clampU clips a signed value to [0, 2^n-1]; widths above 31 degrade to
+// 31 (the full non-negative int32 range).
+func clampU(v int32, n uint32) uint32 {
+	if n > 31 {
+		n = 31
+	}
+	hi := int32(math.MaxInt32)
+	if n < 31 {
+		hi = int32(1)<<n - 1
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > hi {
+		v = hi
+	}
+	return uint32(v)
+}
+
+// lane8 extracts unsigned byte lane i of v; lane 0 is the most
+// significant byte, matching the big-endian SIMD convention.
+func lane8(v uint32, i uint) uint32 { return v >> (24 - 8*i) & 0xff }
+
+func slane8(v uint32, i uint) int32 { return int32(int8(lane8(v, i))) }
+
+func pack8(b0, b1, b2, b3 uint32) uint32 { return b0<<24 | b1<<16 | b2<<8 | b3 }
+
+func shi16(v uint32) int32 { return int32(int16(v >> 16)) }
+func slo16(v uint32) int32 { return int32(int16(v)) }
+
+func cat16(hi, lo uint32) uint32 { return hi<<16 | lo&0xffff }
+
+func fval(v uint32) float32 { return math.Float32frombits(v) }
+func fimg(f float32) uint32 { return math.Float32bits(f) }
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a >= b {
+		return a - b
+	}
+	return b - a
+}
+
+// sad4 sums |a.lane - b.lane| over the four unsigned byte lanes.
+func sad4(a, b uint32) uint32 {
+	var s uint32
+	for i := uint(0); i < 4; i++ {
+		s += absDiff(lane8(a, i), lane8(b, i))
+	}
+	return s
+}
+
+// cabacStep is an independent transcription of the paper's Figure 2
+// binary arithmetic decode step, sharing only the H.264 probability
+// tables with the cabac package.
+func cabacStep(value, rng, aligned, state, mps uint32) (v, r, st, m, bit uint32, consumed uint32) {
+	rlps := cabac.RangeLPS(state, (rng>>6)&3)
+	mpsRange := rng - rlps
+	if value < mpsRange {
+		v, r, bit, m, st = value, mpsRange, mps, mps, cabac.NextMPS(state)
+	} else {
+		v, r, bit = value-mpsRange, rlps, mps^1
+		m = mps
+		if state == 0 {
+			m = mps ^ 1
+		}
+		st = cabac.NextLPS(state)
+	}
+	for r < 256 {
+		v = v<<1 | aligned>>31
+		r <<= 1
+		aligned <<= 1
+		consumed++
+	}
+	return
+}
+
+// storeBytes returns the width and value image of a store operation.
+func storeBytes(op isa.Opcode, src *[4]uint32) (int, uint64) {
+	switch op {
+	case isa.OpST32D:
+		return 4, uint64(src[1])
+	case isa.OpST16D:
+		return 2, uint64(src[1] & 0xffff)
+	default: // st8d
+		return 1, uint64(src[1] & 0xff)
+	}
+}
+
+// execute computes the destination values of one operation from its
+// gathered sources. For loads, `loaded` carries the raw big-endian
+// bytes fetched by the machine (the machine owns address formation and
+// the trap path); jumps and stores produce no destinations here.
+func execute(op isa.Opcode, src *[4]uint32, imm uint32, loaded uint64) (d0, d1 uint32) {
+	a, b := src[0], src[1]
+	switch op {
+	case isa.OpNOP:
+	case isa.OpIIMM:
+		d0 = imm
+
+	// Integer ALU.
+	case isa.OpIADD:
+		d0 = a + b
+	case isa.OpISUB:
+		d0 = a - b
+	case isa.OpIADDI:
+		d0 = a + imm
+	case isa.OpIMIN:
+		d0 = a
+		if int32(b) < int32(a) {
+			d0 = b
+		}
+	case isa.OpIMAX:
+		d0 = a
+		if int32(b) > int32(a) {
+			d0 = b
+		}
+	case isa.OpIAVGONEP:
+		d0 = uint32((int64(int32(a)) + int64(int32(b)) + 1) >> 1)
+	case isa.OpBITAND:
+		d0 = a & b
+	case isa.OpBITOR:
+		d0 = a | b
+	case isa.OpBITXOR:
+		d0 = a ^ b
+	case isa.OpBITANDINV:
+		d0 = a & ^b
+	case isa.OpBITINV:
+		d0 = ^a
+	case isa.OpSEX8:
+		d0 = uint32(int32(int8(a)))
+	case isa.OpSEX16:
+		d0 = uint32(int32(int16(a)))
+	case isa.OpZEX8:
+		d0 = a & 0xff
+	case isa.OpZEX16:
+		d0 = a & 0xffff
+	case isa.OpIEQL:
+		d0 = b2u(a == b)
+	case isa.OpINEQ:
+		d0 = b2u(a != b)
+	case isa.OpIGTR:
+		d0 = b2u(int32(a) > int32(b))
+	case isa.OpIGEQ:
+		d0 = b2u(int32(a) >= int32(b))
+	case isa.OpILES:
+		d0 = b2u(int32(a) < int32(b))
+	case isa.OpILEQ:
+		d0 = b2u(int32(a) <= int32(b))
+	case isa.OpUGTR:
+		d0 = b2u(a > b)
+	case isa.OpUGEQ:
+		d0 = b2u(a >= b)
+	case isa.OpULES:
+		d0 = b2u(a < b)
+	case isa.OpULEQ:
+		d0 = b2u(a <= b)
+	case isa.OpIEQLI:
+		d0 = b2u(a == imm)
+	case isa.OpINEQI:
+		d0 = b2u(a != imm)
+	case isa.OpIGTRI:
+		d0 = b2u(int32(a) > int32(imm))
+	case isa.OpILESI:
+		d0 = b2u(int32(a) < int32(imm))
+	case isa.OpIZERO:
+		d0 = b2u(a == 0)
+	case isa.OpINONZERO:
+		d0 = b2u(a != 0)
+
+	// Shifter.
+	case isa.OpASL:
+		d0 = a << (b & 31)
+	case isa.OpASR:
+		d0 = uint32(int32(a) >> (b & 31))
+	case isa.OpLSR:
+		d0 = a >> (b & 31)
+	case isa.OpROL:
+		d0 = bits.RotateLeft32(a, int(b&31))
+	case isa.OpASLI:
+		d0 = a << (imm & 31)
+	case isa.OpASRI:
+		d0 = uint32(int32(a) >> (imm & 31))
+	case isa.OpLSRI:
+		d0 = a >> (imm & 31)
+	case isa.OpROLI:
+		d0 = bits.RotateLeft32(a, int(imm&31))
+	case isa.OpICLZ:
+		d0 = uint32(bits.LeadingZeros32(a))
+	case isa.OpFUNSHIFT1:
+		d0 = a<<8 | b>>24
+	case isa.OpFUNSHIFT2:
+		d0 = a<<16 | b>>16
+	case isa.OpFUNSHIFT3:
+		d0 = a<<24 | b>>8
+
+	// Multiplier complex.
+	case isa.OpIMUL:
+		d0 = uint32(int32(a) * int32(b))
+	case isa.OpIMULM:
+		d0 = uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)
+	case isa.OpUMULM:
+		d0 = uint32(uint64(a) * uint64(b) >> 32)
+	case isa.OpDSPIMUL:
+		d0 = sat32(int64(int32(a)) * int64(int32(b)))
+	case isa.OpIFIR16:
+		d0 = uint32(shi16(a)*shi16(b) + slo16(a)*slo16(b))
+	case isa.OpUFIR16:
+		d0 = uint32(int32(a>>16)*int32(b>>16) + int32(a&0xffff)*int32(b&0xffff))
+	case isa.OpIFIR8UI:
+		var s int32
+		for i := uint(0); i < 4; i++ {
+			s += int32(lane8(a, i)) * slane8(b, i)
+		}
+		d0 = uint32(s)
+	case isa.OpUME8UU:
+		d0 = sad4(a, b)
+	case isa.OpUME8II:
+		var s uint32
+		for i := uint(0); i < 4; i++ {
+			d := slane8(a, i) - slane8(b, i)
+			if d < 0 {
+				d = -d
+			}
+			s += uint32(d)
+		}
+		d0 = s
+
+	// DSP ALU.
+	case isa.OpDSPIADD:
+		d0 = sat32(int64(int32(a)) + int64(int32(b)))
+	case isa.OpDSPISUB:
+		d0 = sat32(int64(int32(a)) - int64(int32(b)))
+	case isa.OpDSPIABS:
+		v := int64(int32(a))
+		if v < 0 {
+			v = -v
+		}
+		d0 = sat32(v)
+	case isa.OpDSPIDUALADD:
+		d0 = sat16(int64(shi16(a))+int64(shi16(b)))<<16 |
+			sat16(int64(slo16(a))+int64(slo16(b)))
+	case isa.OpDSPIDUALSUB:
+		d0 = sat16(int64(shi16(a))-int64(shi16(b)))<<16 |
+			sat16(int64(slo16(a))-int64(slo16(b)))
+	case isa.OpDSPIDUALMUL:
+		d0 = sat16(int64(shi16(a))*int64(shi16(b)))<<16 |
+			sat16(int64(slo16(a))*int64(slo16(b)))
+	case isa.OpDSPUQUADADDUI:
+		var o [4]uint32
+		for i := uint(0); i < 4; i++ {
+			o[i] = sat8u(int32(lane8(a, i)) + slane8(b, i))
+		}
+		d0 = pack8(o[0], o[1], o[2], o[3])
+	case isa.OpQUADAVG:
+		var o [4]uint32
+		for i := uint(0); i < 4; i++ {
+			o[i] = (lane8(a, i) + lane8(b, i) + 1) >> 1
+		}
+		d0 = pack8(o[0], o[1], o[2], o[3])
+	case isa.OpQUADUMIN:
+		var o [4]uint32
+		for i := uint(0); i < 4; i++ {
+			o[i] = lane8(a, i)
+			if l := lane8(b, i); l < o[i] {
+				o[i] = l
+			}
+		}
+		d0 = pack8(o[0], o[1], o[2], o[3])
+	case isa.OpQUADUMAX:
+		var o [4]uint32
+		for i := uint(0); i < 4; i++ {
+			o[i] = lane8(a, i)
+			if l := lane8(b, i); l > o[i] {
+				o[i] = l
+			}
+		}
+		d0 = pack8(o[0], o[1], o[2], o[3])
+	case isa.OpICLIPI:
+		d0 = clampS(int32(a), imm)
+	case isa.OpUCLIPI:
+		d0 = clampU(int32(a), imm)
+	case isa.OpDUALICLIPI:
+		d0 = cat16(clampS(shi16(a), imm), clampS(slo16(a), imm))
+	case isa.OpDUALUCLIPI:
+		d0 = cat16(clampU(shi16(a), imm), clampU(slo16(a), imm))
+	case isa.OpPACK16LSB:
+		d0 = cat16(a&0xffff, b&0xffff)
+	case isa.OpPACK16MSB:
+		d0 = cat16(a>>16, b>>16)
+	case isa.OpPACKBYTES:
+		d0 = (a&0xff)<<8 | b&0xff
+	case isa.OpMERGELSB:
+		d0 = pack8(lane8(a, 2), lane8(b, 2), lane8(a, 3), lane8(b, 3))
+	case isa.OpMERGEMSB:
+		d0 = pack8(lane8(a, 0), lane8(b, 0), lane8(a, 1), lane8(b, 1))
+	case isa.OpMERGEDUAL16LSB:
+		d0 = cat16(b&0xffff, a&0xffff)
+	case isa.OpUBYTESEL:
+		// Selector 0 picks the least significant byte.
+		d0 = a >> (8 * (b & 3)) & 0xff
+	case isa.OpIBYTESEL:
+		d0 = uint32(int32(int8(a >> (8 * (b & 3)))))
+	case isa.OpQUADUMULMSB:
+		var o [4]uint32
+		for i := uint(0); i < 4; i++ {
+			o[i] = lane8(a, i) * lane8(b, i) >> 8
+		}
+		d0 = pack8(o[0], o[1], o[2], o[3])
+
+	// Floating point.
+	case isa.OpFADD:
+		d0 = fimg(fval(a) + fval(b))
+	case isa.OpFSUB:
+		d0 = fimg(fval(a) - fval(b))
+	case isa.OpFABSVAL:
+		d0 = a & 0x7fffffff
+	case isa.OpIFLOAT:
+		d0 = fimg(float32(int32(a)))
+	case isa.OpUFLOAT:
+		d0 = fimg(float32(a))
+	case isa.OpIFIXIEEE:
+		r := math.RoundToEven(float64(fval(a)))
+		switch {
+		case math.IsNaN(r):
+			d0 = 0
+		case r > 2147483647:
+			d0 = 0x7fffffff
+		case r < -2147483648:
+			d0 = 0x80000000
+		default:
+			d0 = uint32(int32(r))
+		}
+	case isa.OpUFIXIEEE:
+		r := math.RoundToEven(float64(fval(a)))
+		switch {
+		case math.IsNaN(r) || r < 0:
+			d0 = 0
+		case r > 4294967295:
+			d0 = 0xffffffff
+		default:
+			d0 = uint32(r)
+		}
+	case isa.OpFEQL:
+		d0 = b2u(fval(a) == fval(b))
+	case isa.OpFGTR:
+		d0 = b2u(fval(a) > fval(b))
+	case isa.OpFGEQ:
+		d0 = b2u(fval(a) >= fval(b))
+	case isa.OpFMUL:
+		d0 = fimg(fval(a) * fval(b))
+	case isa.OpFDIV:
+		d0 = fimg(fval(a) / fval(b))
+	case isa.OpFSQRT:
+		d0 = fimg(float32(math.Sqrt(float64(fval(a)))))
+
+	// Jumps: redirect handling lives in the machine; no destinations.
+	case isa.OpJMPI, isa.OpJMPT, isa.OpJMPF:
+
+	// Loads: extract from the raw bytes the machine fetched.
+	case isa.OpLD32D, isa.OpLD32R:
+		d0 = uint32(loaded)
+	case isa.OpLD16D, isa.OpLD16R:
+		d0 = uint32(int32(int16(loaded)))
+	case isa.OpULD16D, isa.OpULD16R:
+		d0 = uint32(loaded) & 0xffff
+	case isa.OpLD8D, isa.OpLD8R:
+		d0 = uint32(int32(int8(loaded)))
+	case isa.OpULD8D, isa.OpULD8R:
+		d0 = uint32(loaded) & 0xff
+
+	// Stores carry no destination; the machine performs the write.
+	case isa.OpST32D, isa.OpST16D, isa.OpST8D, isa.OpALLOCD:
+
+	case isa.OpLDFRAC8:
+		f := b & 0xf
+		byteAt := func(i uint) uint32 { return uint32(loaded>>(8*(4-i))) & 0xff }
+		var o [4]uint32
+		for i := uint(0); i < 4; i++ {
+			o[i] = (byteAt(i)*(16-f) + byteAt(i+1)*f + 8) >> 4
+		}
+		d0 = pack8(o[0], o[1], o[2], o[3])
+
+	// Two-slot super operations.
+	case isa.OpSUPERDUALIMIX:
+		c, d := src[2], src[3]
+		d0 = sat32(int64(shi16(a))*int64(shi16(b)) + int64(shi16(c))*int64(shi16(d)))
+		d1 = sat32(int64(slo16(a))*int64(slo16(b)) + int64(slo16(c))*int64(slo16(d)))
+	case isa.OpSUPERLD32R:
+		d0 = uint32(loaded >> 32)
+		d1 = uint32(loaded)
+	case isa.OpSUPERCABACSTR:
+		_, _, _, _, bit, consumed := cabacStep(a>>16, a&0xffff, 0, src[3]>>16&63, src[3]&1)
+		d0 = b + consumed
+		d1 = bit
+	case isa.OpSUPERCABACCTX:
+		v, r, st, mp, _, _ := cabacStep(a>>16, a&0xffff, src[2]<<(b&31), src[3]>>16&63, src[3]&1)
+		d0 = cat16(v, r)
+		d1 = cat16(st, mp)
+	case isa.OpSUPERUME8UU:
+		d0 = sad4(a, src[2]) + sad4(b, src[3])
+	}
+	return d0, d1
+}

@@ -1,0 +1,469 @@
+// Package refmodel is the architectural reference model: an
+// instruction-accurate, unpipelined interpreter for the full TM3270 ISA
+// that executes decoded binaries sequentially, with none of the
+// cycle-level machinery of the pipeline model (no caches, no stalls, no
+// bus). Operation semantics are reimplemented independently of the isa
+// package's Exec functions so the differential harness in
+// internal/cosim cross-checks two genuinely separate encodings of the
+// paper's Table 2 — a shared helper would turn a shared bug into a
+// silent agreement.
+//
+// The model does honor the two architecturally visible timing features
+// of the exposed pipeline: register results commit `latency`
+// instructions after issue, and taken jumps redirect after the target's
+// delay slots. Both are part of the ISA contract (a schedule that
+// violates them computes different values), so an instruction-accurate
+// model must reproduce them.
+package refmodel
+
+import (
+	"fmt"
+
+	"tm3270/internal/config"
+	"tm3270/internal/encode"
+	"tm3270/internal/isa"
+	"tm3270/internal/prefetch"
+)
+
+// TrapKind classifies reference-model execution faults.
+type TrapKind int
+
+const (
+	TrapNone TrapKind = iota
+	// TrapBadOpcode: an operation slot decodes to an undefined opcode.
+	TrapBadOpcode
+	// TrapBadPair: a two-slot operation without its extension half, or a
+	// stray extension half without a main half.
+	TrapBadPair
+	// TrapBadTarget: a taken jump whose target is not an instruction
+	// boundary of the loaded binary.
+	TrapBadTarget
+	// TrapDelayViolation: a jump taken inside the delay window of an
+	// earlier taken jump.
+	TrapDelayViolation
+	// TrapMMIO: a malformed access to the prefetch MMIO block.
+	TrapMMIO
+	// TrapUndefinedRead: strict mode only — a load touching a byte never
+	// written (per-byte validity, finer than the pipeline model's
+	// page-granular check).
+	TrapUndefinedRead
+	// TrapNullStore: strict mode only — a store into the reserved null
+	// page.
+	TrapNullStore
+	// TrapWatchdog: the instruction budget was exhausted.
+	TrapWatchdog
+)
+
+var trapNames = map[TrapKind]string{
+	TrapNone:           "none",
+	TrapBadOpcode:      "bad-opcode",
+	TrapBadPair:        "bad-pair",
+	TrapBadTarget:      "bad-jump-target",
+	TrapDelayViolation: "delay-violation",
+	TrapMMIO:           "mmio",
+	TrapUndefinedRead:  "undefined-read",
+	TrapNullStore:      "null-store",
+	TrapWatchdog:       "watchdog",
+}
+
+func (k TrapKind) String() string {
+	if s, ok := trapNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("trap%d", int(k))
+}
+
+// Trap is a reference-model execution fault with its architectural
+// context: the instruction (issue index and PC), the slot and operation
+// at fault, and the memory address for memory traps.
+type Trap struct {
+	Kind   TrapKind
+	Reason string
+	Issue  int64  // instructions retired before the fault
+	Index  int    // instruction index in the decoded stream
+	PC     uint32 // byte address of the faulting instruction
+	Slot   int    // 1-based issue slot (0 when not slot-specific)
+	Op     string // mnemonic (empty when not op-specific)
+	Addr   uint32 // memory address (memory traps only)
+}
+
+func (t *Trap) Error() string {
+	s := fmt.Sprintf("refmodel trap %s at issue %d pc %#x", t.Kind, t.Issue, t.PC)
+	if t.Op != "" {
+		s += fmt.Sprintf(" slot %d op %s", t.Slot, t.Op)
+	}
+	return s + ": " + t.Reason
+}
+
+// pendWrite is a register result in flight: the exposed pipeline
+// commits it `latency` instructions after issue.
+type pendWrite struct {
+	at  int64
+	reg isa.Reg
+	val uint32
+}
+
+// Machine is the reference interpreter over one decoded binary.
+type Machine struct {
+	Target config.Target
+	Mem    *Mem
+
+	// MaxInstrs bounds execution (0 = the pipeline model's default
+	// watchdog budget).
+	MaxInstrs int64
+
+	// StrictMem enables per-byte undefined-read and null-page-store
+	// traps. Off by default, matching the pipeline model.
+	StrictMem bool
+
+	instrs []encode.DecInstr
+	byAddr map[uint32]int // instruction byte address -> index
+
+	regs [isa.NumRegs]uint32
+	pend []pendWrite
+	mmio [prefetch.NumRegions][3]uint32 // START, END, STRIDE per region
+
+	issue         int64
+	idx           int
+	redirectAfter int64
+	redirectTo    int
+	done          bool
+	trap          *Trap
+}
+
+// New builds a machine over a decoded instruction stream. The memory
+// image may be shared-nothing per machine; the instruction stream is
+// read-only.
+func New(dec []encode.DecInstr, t config.Target, m *Mem) *Machine {
+	if m == nil {
+		m = NewMem()
+	}
+	mach := &Machine{
+		Target:        t,
+		Mem:           m,
+		instrs:        dec,
+		byAddr:        make(map[uint32]int, len(dec)+1),
+		redirectAfter: -1,
+	}
+	for i := range dec {
+		mach.byAddr[dec[i].Addr] = i
+	}
+	if n := len(dec); n > 0 {
+		// The address one past the last instruction is a legal jump
+		// target: it halts the machine.
+		mach.byAddr[dec[n-1].Addr+uint32(dec[n-1].Size)] = n
+	}
+	mach.regs[isa.R1] = 1
+	return mach
+}
+
+// SetReg initializes an architectural register (kernel arguments).
+// Writes to the hardwired r0/r1 are dropped.
+func (m *Machine) SetReg(r isa.Reg, v uint32) {
+	if !r.Hardwired() && r.Valid() {
+		m.regs[r] = v
+	}
+}
+
+// Reg reads an architectural register.
+func (m *Machine) Reg(r isa.Reg) uint32 {
+	switch r {
+	case isa.R0:
+		return 0
+	case isa.R1:
+		return 1
+	}
+	return m.regs[r]
+}
+
+// Regs returns the architectural register file with the hardwired
+// values materialized.
+func (m *Machine) Regs() [isa.NumRegs]uint32 {
+	s := m.regs
+	s[isa.R0], s[isa.R1] = 0, 1
+	return s
+}
+
+// MMIORegs returns the prefetch configuration bank (START, END, STRIDE
+// per region) for final-state diffing.
+func (m *Machine) MMIORegs() [prefetch.NumRegions][3]uint32 { return m.mmio }
+
+// Done reports whether execution has finished (normally or by trap).
+func (m *Machine) Done() bool { return m.done }
+
+// Trap returns the fault that stopped the machine, or nil.
+func (m *Machine) Trap() *Trap { return m.trap }
+
+// Issue returns the number of instructions retired so far.
+func (m *Machine) Issue() int64 { return m.issue }
+
+// Index returns the index of the next instruction to execute.
+func (m *Machine) Index() int { return m.idx }
+
+// CommitDue applies the register writes due at the current issue index.
+// Step does this implicitly; the lockstep harness calls it explicitly to
+// observe post-commit pre-execute state at an instruction boundary.
+func (m *Machine) CommitDue() { m.commit(m.issue) }
+
+func (m *Machine) commit(issue int64) {
+	if len(m.pend) == 0 {
+		return
+	}
+	kept := m.pend[:0]
+	for _, w := range m.pend {
+		if w.at <= issue {
+			if !w.reg.Hardwired() {
+				m.regs[w.reg] = w.val
+			}
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	m.pend = kept
+}
+
+func (m *Machine) stop(t *Trap) *Trap {
+	t.Issue = m.issue
+	t.Index = m.idx
+	if m.idx < len(m.instrs) {
+		t.PC = m.instrs[m.idx].Addr
+	}
+	m.trap = t
+	m.done = true
+	return t
+}
+
+// finish drains in-flight writes and halts the machine normally.
+func (m *Machine) finish() {
+	m.commit(m.issue + 64)
+	m.done = true
+}
+
+// Run executes to completion and returns the trap, if any.
+func (m *Machine) Run() *Trap {
+	for !m.done {
+		if t := m.Step(); t != nil {
+			return t
+		}
+	}
+	return m.trap
+}
+
+// gathered is one operation with its phase-1 operand values.
+type gathered struct {
+	op      *encode.DecOp
+	info    *isa.OpInfo
+	slot    int // 1-based
+	execute bool
+	src     [4]uint32
+	dest    [2]isa.Reg
+}
+
+// Step executes one VLIW instruction: commit due writes, gather all
+// operands against pre-instruction state, execute slots in order, then
+// retire and follow any matured redirect.
+func (m *Machine) Step() *Trap {
+	if m.done {
+		return m.trap
+	}
+	if m.idx >= len(m.instrs) {
+		m.finish()
+		return nil
+	}
+	maxInstrs := m.MaxInstrs
+	if maxInstrs == 0 {
+		maxInstrs = 2_000_000_000
+	}
+	if m.issue >= maxInstrs {
+		return m.stop(&Trap{Kind: TrapWatchdog,
+			Reason: fmt.Sprintf("exceeded %d instructions", maxInstrs)})
+	}
+	m.commit(m.issue)
+
+	in := &m.instrs[m.idx]
+
+	// Phase 1: gather operands against pre-instruction register state.
+	var evals [5]gathered
+	n := 0
+	for s := 0; s < 5; s++ {
+		op := in.Slots[s]
+		if op == nil {
+			continue
+		}
+		if op.IsExt() {
+			return m.stop(&Trap{Kind: TrapBadPair, Slot: s + 1,
+				Reason: "extension half without a two-slot main half"})
+		}
+		info, ok := isa.InfoOK(isa.Opcode(op.Opcode))
+		if !ok {
+			return m.stop(&Trap{Kind: TrapBadOpcode, Slot: s + 1,
+				Reason: fmt.Sprintf("undefined opcode %d", op.Opcode)})
+		}
+		g := m.Reg(op.Guard)&1 == 1
+		if info.GuardInverted {
+			g = !g
+		}
+		ev := gathered{op: op, info: info, slot: s + 1, execute: g}
+		if info.TwoSlot {
+			if s == 4 || in.Slots[s+1] == nil || !in.Slots[s+1].IsExt() {
+				return m.stop(&Trap{Kind: TrapBadPair, Slot: s + 1, Op: info.Name,
+					Reason: "two-slot operation without its extension half"})
+			}
+			ext := in.Slots[s+1]
+			ev.src = [4]uint32{m.Reg(op.S1), m.Reg(op.S2), m.Reg(ext.S1), m.Reg(ext.S2)}
+			ev.dest = [2]isa.Reg{op.D, ext.D}
+			s++ // the extension half occupies the next slot
+		} else {
+			srcs := [2]isa.Reg{op.S1, op.S2}
+			for k := 0; k < info.NSrc && k < 2; k++ {
+				ev.src[k] = m.Reg(srcs[k])
+			}
+			ev.dest = [2]isa.Reg{op.D, 0}
+		}
+		evals[n] = ev
+		n++
+	}
+
+	// Phase 2: execute in slot order.
+	for i := 0; i < n; i++ {
+		ev := &evals[i]
+		if !ev.execute {
+			continue
+		}
+		op, info := ev.op, ev.info
+		code := isa.Opcode(op.Opcode)
+
+		var loaded uint64
+		if info.IsLoad || info.IsStore {
+			addr := m.memAddr(code, op, &ev.src)
+			var t *Trap
+			switch {
+			case code == isa.OpALLOCD:
+				// Cache allocation only: no functional memory access.
+			case info.IsLoad:
+				loaded, t = m.load(addr, info.MemBytes)
+			default:
+				nBytes, v := storeBytes(code, &ev.src)
+				t = m.store(addr, nBytes, v)
+			}
+			if t != nil {
+				t.Slot, t.Op, t.Addr = ev.slot, info.Name, addr
+				return m.stop(t)
+			}
+		}
+
+		d0, d1 := execute(code, &ev.src, op.Imm, loaded)
+
+		lat := int64(m.Target.OpLatency(code))
+		dests := [2]uint32{d0, d1}
+		for k := 0; k < info.NDest; k++ {
+			m.pend = append(m.pend, pendWrite{
+				at:  m.issue + lat,
+				reg: ev.dest[k],
+				val: dests[k],
+			})
+		}
+
+		if info.IsJump {
+			if m.redirectAfter >= 0 {
+				return m.stop(&Trap{Kind: TrapDelayViolation, Slot: ev.slot, Op: info.Name,
+					Reason: fmt.Sprintf("jump taken inside the delay window of the jump at issue %d",
+						m.redirectAfter-int64(m.Target.JumpDelaySlots))})
+			}
+			ti, ok := m.byAddr[op.Target]
+			if !ok {
+				return m.stop(&Trap{Kind: TrapBadTarget, Slot: ev.slot, Op: info.Name,
+					Addr:   op.Target,
+					Reason: fmt.Sprintf("jump to %#x, not an instruction boundary", op.Target)})
+			}
+			m.redirectAfter = m.issue + int64(m.Target.JumpDelaySlots)
+			m.redirectTo = ti
+		}
+	}
+
+	m.issue++
+	if m.redirectAfter >= 0 && m.issue > m.redirectAfter {
+		m.idx = m.redirectTo
+		m.redirectAfter = -1
+	} else {
+		m.idx++
+	}
+	if m.idx >= len(m.instrs) {
+		m.finish()
+	}
+	return nil
+}
+
+// memAddr forms the effective address of a memory operation from the
+// decoded operand fields.
+func (m *Machine) memAddr(code isa.Opcode, op *encode.DecOp, src *[4]uint32) uint32 {
+	switch code {
+	case isa.OpLD32R, isa.OpLD16R, isa.OpULD16R, isa.OpLD8R, isa.OpULD8R,
+		isa.OpSUPERLD32R:
+		return src[0] + src[1]
+	case isa.OpLDFRAC8:
+		return src[0]
+	default:
+		return src[0] + op.Imm
+	}
+}
+
+// checkMMIO validates an access against the prefetch MMIO block,
+// mirroring the pipeline model's bus rules.
+func (m *Machine) checkMMIO(addr uint32, n int) *Trap {
+	if !prefetch.IsMMIO(addr) {
+		if addr < prefetch.MMIOBase && addr+uint32(n) > prefetch.MMIOBase {
+			return &Trap{Kind: TrapMMIO,
+				Reason: fmt.Sprintf("%d-byte access straddles the prefetch MMIO block", n)}
+		}
+		return nil
+	}
+	switch {
+	case !m.Target.HasRegionPrefetch:
+		return &Trap{Kind: TrapMMIO,
+			Reason: "prefetch MMIO access on a target without a region prefetcher"}
+	case n != 4:
+		return &Trap{Kind: TrapMMIO,
+			Reason: fmt.Sprintf("%d-byte prefetch MMIO access (registers are 32-bit)", n)}
+	case addr%4 != 0:
+		return &Trap{Kind: TrapMMIO, Reason: "misaligned prefetch MMIO access"}
+	}
+	return nil
+}
+
+func (m *Machine) load(addr uint32, n int) (uint64, *Trap) {
+	if t := m.checkMMIO(addr, n); t != nil {
+		return 0, t
+	}
+	if prefetch.IsMMIO(addr) {
+		off := addr - prefetch.MMIOBase
+		if k := off % 16; k < 12 {
+			return uint64(m.mmio[off/16][k/4]), nil
+		}
+		return 0, nil
+	}
+	if m.StrictMem && !m.Mem.Defined(addr, n) {
+		return 0, &Trap{Kind: TrapUndefinedRead,
+			Reason: fmt.Sprintf("%d-byte load touches never-written bytes", n)}
+	}
+	return m.Mem.Load(addr, n), nil
+}
+
+func (m *Machine) store(addr uint32, n int, v uint64) *Trap {
+	if t := m.checkMMIO(addr, n); t != nil {
+		return t
+	}
+	if prefetch.IsMMIO(addr) {
+		off := addr - prefetch.MMIOBase
+		if k := off % 16; k < 12 {
+			m.mmio[off/16][k/4] = uint32(v)
+		}
+		return nil
+	}
+	if m.StrictMem && addr < 0x1000 {
+		return &Trap{Kind: TrapNullStore,
+			Reason: fmt.Sprintf("%d-byte store into the null page", n)}
+	}
+	m.Mem.Store(addr, n, v)
+	return nil
+}

@@ -115,6 +115,13 @@ type Machine struct {
 	// RecorderDepth sets the flight-recorder length (0 = default).
 	RecorderDepth int
 
+	// InstrHook, when non-nil, is called at every instruction boundary
+	// after in-flight register writes due at that boundary have
+	// committed and before the instruction executes. The differential
+	// harness uses it to step a reference model in lockstep and compare
+	// architectural state; RegSnapshot exposes that state.
+	InstrHook func(cycle, issue int64, idx int)
+
 	// Trace, when non-nil, receives a one-line record per issued
 	// instruction for the first TraceLimit instructions (default 200):
 	// cycle, instruction index, and the operations issued.
@@ -183,6 +190,15 @@ func (m *Machine) SetReg(v prog.VReg, val uint32) {
 
 // Reg reads a register by virtual name (results, tests).
 func (m *Machine) Reg(v prog.VReg) uint32 { return m.regs.Read(m.RegMap.Reg(v)) }
+
+// RegSnapshot returns the architectural register file with the
+// hardwired r0/r1 values materialized (differential testing).
+func (m *Machine) RegSnapshot() [isa.NumRegs]uint32 { return m.regs.Snapshot() }
+
+// SetPhysReg initializes a physical register directly. The differential
+// harness uses it to install arguments already mapped through an
+// artifact's register allocation.
+func (m *Machine) SetPhysReg(r isa.Reg, v uint32) { m.regs.Write(r, v) }
 
 // busMem routes operation-level memory accesses either to the
 // memory-mapped prefetch configuration registers or to the memory image.
@@ -346,6 +362,10 @@ func (m *Machine) RunContext(ctx context.Context) (err error) {
 		}
 		// Commit in-flight register writes due at this instruction.
 		m.commit(issue)
+
+		if m.InstrHook != nil {
+			m.InstrHook(cycle, issue, idx)
+		}
 
 		// Instruction fetch. Stalls on the first fetch after a redirect
 		// are the dynamic jump penalty (the discarded instruction
