@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench campaign cosim cover bench-json bench-par lint tmvet binlint
+.PHONY: check build vet test race fuzz bench campaign cosim cover bench-json bench-par lint tmvet binlint serve-smoke
 
 # Tier-1 gate: lint (vet + tmvet + gofmt), the full test suite under the
 # race detector (includes the concurrent-runner and batch determinism
 # tests in internal/runner), the per-package coverage-floor gate, the
-# machine-readable quick bench (written and schema-checked), and the
-# serial-vs-parallel byte-identity proof.
-check: lint race cover bench-json bench-par
+# machine-readable quick bench (written and schema-checked), the
+# serial-vs-parallel byte-identity proof, and the live-daemon smoke
+# (boot tm3270d, drive load, assert zero 5xx and a clean SIGTERM drain).
+check: lint race cover bench-json bench-par serve-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +56,12 @@ cover:
 	$(GO) test -count=1 -cover ./... > COVER.out 2>&1 || (cat COVER.out; rm -f COVER.out; exit 1)
 	@$(GO) run ./cmd/covergate < COVER.out; s=$$?; rm -f COVER.out; exit $$s
 
+# cover-ratchet: same gate, but also raise the floor of any package
+# holding floor+5 and rewrite coverage_floors.txt (commit the result).
+cover-ratchet:
+	$(GO) test -count=1 -cover ./... > COVER.out 2>&1 || (cat COVER.out; rm -f COVER.out; exit 1)
+	@$(GO) run ./cmd/covergate -ratchet < COVER.out; s=$$?; rm -f COVER.out; exit $$s
+
 # Quick-mode machine-readable bench result. The bench validates the
 # written file (schema version + stall-accounting identity) and fails
 # the build on mismatch.
@@ -69,3 +76,9 @@ bench-par:
 	cmp BENCH_serial.json BENCH_par.json
 	@rm -f BENCH_serial.json BENCH_par.json
 	@echo "bench-par: parallel output byte-identical to serial"
+
+# serve-smoke: boot the daemon, hammer it with the shed-aware load
+# driver, SIGTERM it, and assert zero 5xx plus a clean drain with no
+# dropped in-flight responses.
+serve-smoke:
+	GO=$(GO) sh scripts/serve_smoke.sh

@@ -9,15 +9,23 @@
 // the measured baseline (see EXPERIMENTS.md) so routine changes pass,
 // while a change that guts a tier-1 package's tests fails `make check`.
 //
+// -ratchet turns the one-way property into an automatic one: any gated
+// package measuring at least ratchetSlack points above its floor gets
+// its floor raised to measured - ratchetMargin, and the floors file is
+// rewritten in place (header comments preserved). Coverage gains are
+// thereby locked in as they land rather than waiting for someone to
+// remember; the gate still runs and still fails packages below floor.
+//
 // Usage:
 //
-//	go test -count=1 -cover ./... | covergate [-floors coverage_floors.txt]
+//	go test -count=1 -cover ./... | covergate [-floors coverage_floors.txt] [-ratchet]
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -27,6 +35,16 @@ import (
 
 // coverRe matches `ok <pkg> <time> coverage: <pct>% of statements`.
 var coverRe = regexp.MustCompile(`^ok\s+(\S+)\s+.*coverage:\s+([0-9.]+)% of statements`)
+
+const (
+	// ratchetSlack is how far above its floor a package must measure
+	// before -ratchet raises the floor — wide enough that run-to-run
+	// coverage jitter can't ping-pong the file.
+	ratchetSlack = 5
+	// ratchetMargin is how far below the measurement the raised floor
+	// lands, so routine changes keep passing after a ratchet.
+	ratchetMargin = 2
+)
 
 func parseFloors(path string) (map[string]float64, error) {
 	f, err := os.Open(path)
@@ -56,8 +74,74 @@ func parseFloors(path string) (map[string]float64, error) {
 	return floors, sc.Err()
 }
 
+// ratchetFloors raises the floor of every package measuring at least
+// ratchetSlack above it to (measured - ratchetMargin), rounded down to
+// a whole point. It returns the updated floors and the packages whose
+// floors moved, sorted. Floors never go down.
+func ratchetFloors(floors, got map[string]float64) (map[string]float64, []string) {
+	out := make(map[string]float64, len(floors))
+	var raised []string
+	for pkg, floor := range floors {
+		out[pkg] = floor
+		pct, ok := got[pkg]
+		if !ok || pct < floor+ratchetSlack {
+			continue
+		}
+		next := math.Floor(pct - ratchetMargin)
+		if next > floor {
+			out[pkg] = next
+			raised = append(raised, pkg)
+		}
+	}
+	sort.Strings(raised)
+	return out, raised
+}
+
+// writeFloors rewrites the floors file: the original header comment
+// block survives, then one sorted `pkg<TAB>floor` line per package.
+func writeFloors(path string, floors map[string]float64) error {
+	var header []string
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			text := strings.TrimSpace(sc.Text())
+			if text == "" || strings.HasPrefix(text, "#") {
+				header = append(header, sc.Text())
+				continue
+			}
+			break
+		}
+		f.Close()
+	}
+	pkgs := make([]string, 0, len(floors))
+	for pkg := range floors {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	var b strings.Builder
+	for _, h := range header {
+		b.WriteString(h)
+		b.WriteByte('\n')
+	}
+	for _, pkg := range pkgs {
+		b.WriteString(fmt.Sprintf("%s\t%s\n", pkg, formatFloor(floors[pkg])))
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// formatFloor prints whole floors without a decimal point, matching
+// the hand-written file style.
+func formatFloor(f float64) string {
+	if f == math.Trunc(f) {
+		return strconv.FormatFloat(f, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(f, 'f', 1, 64)
+}
+
 func main() {
 	floorsPath := flag.String("floors", "coverage_floors.txt", "per-package floors file")
+	ratchet := flag.Bool("ratchet", false, "raise floors of packages measuring >= floor+5 and rewrite the floors file")
 	flag.Parse()
 
 	floors, err := parseFloors(*floorsPath)
@@ -108,5 +192,21 @@ func main() {
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "covergate: %d package(s) below their coverage floor\n", failed)
 		os.Exit(1)
+	}
+
+	if *ratchet {
+		next, raised := ratchetFloors(floors, got)
+		if len(raised) == 0 {
+			fmt.Println("covergate: ratchet: no package holds floor+5; floors unchanged")
+			return
+		}
+		if err := writeFloors(*floorsPath, next); err != nil {
+			fmt.Fprintln(os.Stderr, "covergate: ratchet:", err)
+			os.Exit(2)
+		}
+		for _, pkg := range raised {
+			fmt.Printf("covergate: ratchet: %-36s %.0f%% -> %.0f%% (measured %.1f%%)\n",
+				pkg, floors[pkg], next[pkg], got[pkg])
+		}
 	}
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRatchetFloors(t *testing.T) {
+	floors := map[string]float64{
+		"a": 70, // measured 80: +10 slack, ratchets to 78
+		"b": 70, // measured 73: inside the 5-point slack band, stays
+		"c": 70, // not measured (test suite gone), stays
+		"d": 90, // measured 91.4: stays
+		"e": 50, // measured 55.0: exactly at slack, ratchets to 53
+	}
+	got := map[string]float64{"a": 80, "b": 73, "d": 91.4, "e": 55}
+
+	next, raised := ratchetFloors(floors, got)
+	if want := []string{"a", "e"}; len(raised) != 2 || raised[0] != want[0] || raised[1] != want[1] {
+		t.Fatalf("raised = %v, want %v", raised, want)
+	}
+	wantFloors := map[string]float64{"a": 78, "b": 70, "c": 70, "d": 90, "e": 53}
+	for pkg, want := range wantFloors {
+		if next[pkg] != want {
+			t.Errorf("floor[%s] = %v, want %v", pkg, next[pkg], want)
+		}
+	}
+}
+
+func TestRatchetNeverLowers(t *testing.T) {
+	// A floor already above measured-margin must not move, whatever the
+	// arithmetic says.
+	floors := map[string]float64{"a": 96}
+	next, raised := ratchetFloors(floors, map[string]float64{"a": 97})
+	if len(raised) != 0 || next["a"] != 96 {
+		t.Errorf("floor moved: next=%v raised=%v", next, raised)
+	}
+}
+
+func TestWriteFloorsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "floors.txt")
+	orig := "# header line one\n# header line two\npkg/a\t70\npkg/b\t85.5\n"
+	if err := os.WriteFile(path, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	floors, err := parseFloors(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floors["pkg/a"] = 78
+	if err := writeFloors(path, floors); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "# header line one\n# header line two\npkg/a\t78\npkg/b\t85.5\n"
+	if string(out) != want {
+		t.Errorf("rewritten file:\n%s\nwant:\n%s", out, want)
+	}
+	// And the rewritten file still parses to the same floors.
+	back, err := parseFloors(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back["pkg/a"] != 78 || back["pkg/b"] != 85.5 {
+		t.Errorf("round trip lost floors: %v", back)
+	}
+}
+
+func TestCoverRe(t *testing.T) {
+	line := "ok  \ttm3270/internal/tmsim\t12.3s\tcoverage: 71.2% of statements"
+	m := coverRe.FindStringSubmatch(line)
+	if m == nil || m[1] != "tm3270/internal/tmsim" || m[2] != "71.2" {
+		t.Fatalf("coverRe match = %v", m)
+	}
+	if coverRe.MatchString("FAIL\ttm3270/internal/tmsim\t0.1s") {
+		t.Error("coverRe matched a FAIL line")
+	}
+	if !strings.HasPrefix(line, "ok") {
+		t.Fatal("test line malformed")
+	}
+}

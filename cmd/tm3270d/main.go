@@ -1,0 +1,87 @@
+// Command tm3270d serves the multi-tenant simulation daemon: clients
+// create processor sessions over HTTP/JSON (POST /sessions), stream
+// run requests in (POST /sessions/{id}/runs) and get structured
+// results and telemetry back. Overload sheds with 429 + Retry-After,
+// runs are deadline-bounded, panicking sessions are quarantined
+// without taking the daemon down, and SIGTERM/SIGINT drains
+// gracefully: admission closes, in-flight runs finish (or are canceled
+// at the drain deadline with structured responses), the final counter
+// snapshot flushes to stderr, then the process exits.
+//
+// Usage:
+//
+//	tm3270d [-addr :8270] [-workers N] [-queue 64] [-max-sessions 4096]
+//	        [-quota 8] [-run-deadline 30s] [-drain-deadline 30s]
+//	        [-retry-after 1s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tm3270/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8270", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth before shedding")
+	maxSessions := flag.Int("max-sessions", 4096, "live session bound")
+	quota := flag.Int("quota", 8, "default per-session in-flight run quota")
+	runDeadline := flag.Duration("run-deadline", 30*time.Second, "default per-run wall-clock budget")
+	drainDeadline := flag.Duration("drain-deadline", 30*time.Second, "shutdown budget for in-flight runs")
+	retryAfter := flag.Duration("retry-after", time.Second, "backoff hint on shed responses")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		MaxSessions:  *maxSessions,
+		SessionQuota: *quota,
+		RunDeadline:  *runDeadline,
+		RetryAfter:   *retryAfter,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "tm3270d: listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "tm3270d: %v: draining (budget %s)\n", s, *drainDeadline)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "tm3270d: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Drain: stop admitting (new runs shed with 429, /readyz flips to
+	// 503), wait for in-flight runs, cancel stragglers at the deadline.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainDeadline)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "tm3270d: drain deadline hit, stragglers canceled: %v\n", err)
+	}
+	// Let the HTTP server flush the drained runs' responses, then stop.
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	if err := hs.Shutdown(hctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "tm3270d: http shutdown: %v\n", err)
+	}
+	srv.Close()
+
+	// Flush the final telemetry snapshot so operators can post-mortem a
+	// drained instance.
+	fmt.Fprintln(os.Stderr, "tm3270d: final counters:")
+	srv.Snapshot().WriteJSON(os.Stderr)
+	fmt.Fprintln(os.Stderr, "tm3270d: drained cleanly")
+}

@@ -1,0 +1,144 @@
+// Command tm3270load drives a running tm3270d with a closed-loop,
+// shed-aware load: N tenant goroutines each create a session and issue
+// runs back-to-back, honoring the server's Retry-After hints with
+// jittered backoff instead of hammering through overload. It exits 0
+// when the campaign finishes with zero 5xx responses and zero
+// transport errors, making it the assertion half of `make serve-smoke`.
+//
+// Usage:
+//
+//	tm3270load [-base http://127.0.0.1:8270] [-sessions 16] [-runs 8]
+//	           [-workload memcpy] [-target d] [-inject spec] [-deadline 0]
+//	           [-timeout 2m] [-v]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"tm3270/internal/service"
+)
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8270", "server base URL")
+	sessions := flag.Int("sessions", 16, "concurrent tenant sessions")
+	runs := flag.Int("runs", 8, "runs per session")
+	workload := flag.String("workload", "memcpy", "workload every session runs")
+	target := flag.String("target", "d", "processor target (a-d, tm3260, tm3270)")
+	inject := flag.String("inject", "", "fault spec for every run (kind:rate:delay)")
+	deadlineMS := flag.Int64("deadline", 0, "per-run deadline override, ms (0 = server default)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "whole-campaign budget")
+	verbose := flag.Bool("v", false, "log every reply")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	ready := &service.Client{Base: *base}
+	if err := ready.WaitReady(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "tm3270load: server never became ready: %v\n", err)
+		os.Exit(1)
+	}
+
+	type tally struct{ ok, trap, timeout, canceled, other, failed int }
+	var mu sync.Mutex
+	var tot tally
+	var agg service.ClientStats
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := &service.Client{Base: *base, MaxAttempts: 64}
+			var local tally
+			defer func() {
+				mu.Lock()
+				tot.ok += local.ok
+				tot.trap += local.trap
+				tot.timeout += local.timeout
+				tot.canceled += local.canceled
+				tot.other += local.other
+				tot.failed += local.failed
+				agg.Requests.Add(c.Stats.Requests.Load())
+				agg.Retries.Add(c.Stats.Retries.Load())
+				agg.Shed.Add(c.Stats.Shed.Load())
+				agg.FiveXX.Add(c.Stats.FiveXX.Load())
+				agg.Errors.Add(c.Stats.Errors.Load())
+				mu.Unlock()
+			}()
+
+			info, err := c.CreateSession(ctx, service.CreateSessionRequest{
+				Workload: *workload, Target: *target,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tm3270load: tenant %d: create: %v\n", i, err)
+				local.failed++
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(i)))
+			for r := 0; r < *runs; r++ {
+				rep, err := c.Run(ctx, info.ID, service.RunRequest{
+					Inject:     *inject,
+					Seed:       int64(i**runs + r),
+					DeadlineMS: *deadlineMS,
+				})
+				if err != nil {
+					if ae, ok := err.(*service.APIError); ok && ae.Code == http.StatusTooManyRequests {
+						// Budget exhausted on sustained overload: back
+						// off longer and move on rather than failing.
+						time.Sleep(time.Duration(rng.Intn(200)) * time.Millisecond)
+						local.other++
+						continue
+					}
+					fmt.Fprintf(os.Stderr, "tm3270load: tenant %d run %d: %v\n", i, r, err)
+					local.failed++
+					continue
+				}
+				if *verbose {
+					fmt.Printf("tenant %d run %d: %s cycles=%d elapsed=%.1fms\n",
+						i, r, rep.Status, rep.Cycles, rep.ElapsedMS)
+				}
+				switch rep.Status {
+				case service.StatusOK:
+					local.ok++
+				case service.StatusTrap:
+					local.trap++
+				case service.StatusTimeout:
+					local.timeout++
+				case service.StatusCanceled:
+					local.canceled++
+				default:
+					local.other++
+				}
+			}
+			c.DeleteSession(ctx, info.ID)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := tot.ok + tot.trap + tot.timeout + tot.canceled + tot.other
+	fmt.Printf("tm3270load: %d sessions x %d runs in %s\n", *sessions, *runs, elapsed.Round(time.Millisecond))
+	fmt.Printf("  replies:   ok=%d trap=%d timeout=%d canceled=%d other=%d (total %d)\n",
+		tot.ok, tot.trap, tot.timeout, tot.canceled, tot.other, total)
+	fmt.Printf("  transport: requests=%d retries=%d shed429=%d fivexx=%d errors=%d failed=%d\n",
+		agg.Requests.Load(), agg.Retries.Load(), agg.Shed.Load(), agg.FiveXX.Load(),
+		agg.Errors.Load(), tot.failed)
+	if elapsed > 0 && total > 0 {
+		fmt.Printf("  throughput: %.1f runs/s\n", float64(total)/elapsed.Seconds())
+	}
+
+	if agg.FiveXX.Load() != 0 || tot.failed != 0 {
+		fmt.Fprintln(os.Stderr, "tm3270load: FAIL — 5xx responses or failed requests")
+		os.Exit(1)
+	}
+	fmt.Println("tm3270load: PASS — zero 5xx, zero failed requests")
+}

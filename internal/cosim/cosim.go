@@ -36,6 +36,12 @@ type Options struct {
 	// (the campaign uses it to keep bulk sweeps cheap; divergences are
 	// re-examined individually).
 	NoLockstep bool
+	// StrictMem arms strict memory in both models: the pipeline model's
+	// per-byte write-validity trap (TrapUnmappedLoad) and the reference
+	// model's TrapUndefinedRead, which canonTrap maps onto the same
+	// name — so the run agrees exactly when both models trap the same
+	// way, or neither does.
+	StrictMem bool
 }
 
 // Divergence describes the first observed disagreement between the two
@@ -104,13 +110,34 @@ func canonTrap(simErr error, refTrap *refmodel.Trap) (string, string, bool) {
 }
 
 // copyImage seeds the reference model's memory with the pipeline
-// model's initial image.
+// model's initial image, preserving per-byte write validity: only
+// bytes the init actually wrote become defined, so both models' strict
+// modes see an identical validity map.
 func copyImage(f *mem.Func) *refmodel.Mem {
 	m := refmodel.NewMem()
 	for _, pa := range f.PageAddrs() {
-		m.WriteBytes(pa, f.ReadBytes(pa, 1<<12))
+		for i := uint32(0); i < 1<<12; i++ {
+			if f.Defined(pa+i, 1) {
+				m.SetByte(pa+i, f.ByteAt(pa+i))
+			}
+		}
 	}
 	return m
+}
+
+// copyFunc clones an initial image into a fresh mem.Func, preserving
+// per-byte write validity (a whole-page WriteBytes copy would mark
+// every byte defined and mask strict-mode divergences).
+func copyFunc(src *mem.Func) *mem.Func {
+	dst := mem.NewFunc()
+	for _, pa := range src.PageAddrs() {
+		for i := uint32(0); i < 1<<12; i++ {
+			if src.Defined(pa+i, 1) {
+				dst.SetByte(pa+i, src.ByteAt(pa+i))
+			}
+		}
+	}
+	return dst
 }
 
 // run is one fully-prepared co-simulation: compiled artifact, initial
@@ -126,9 +153,7 @@ type run struct {
 func (r *run) newSim() *tmsim.Machine {
 	image := mem.NewFunc()
 	if r.init != nil {
-		for _, pa := range r.init.PageAddrs() {
-			image.WriteBytes(pa, r.init.ReadBytes(pa, 1<<12))
-		}
+		image = copyFunc(r.init)
 	}
 	sim := tmsim.Load(r.art.Code, r.art.RegMap, r.art.Enc, image)
 	return sim
@@ -149,6 +174,7 @@ func (r *run) execute(opts Options) (*Result, error) {
 	}
 	ref := refmodel.New(dec, r.t, refImage)
 	sim.MaxInstrs, ref.MaxInstrs = opts.MaxInstrs, opts.MaxInstrs
+	sim.StrictMem, ref.StrictMem = opts.StrictMem, opts.StrictMem
 	for reg, v := range r.args {
 		sim.SetPhysReg(reg, v)
 		ref.SetReg(reg, v)
@@ -246,6 +272,7 @@ func (r *run) lockstep(dec []encode.DecInstr, opts Options) *Divergence {
 	}
 	ref := refmodel.New(dec, r.t, refImage)
 	sim.MaxInstrs, ref.MaxInstrs = opts.MaxInstrs, opts.MaxInstrs
+	sim.StrictMem, ref.StrictMem = opts.StrictMem, opts.StrictMem
 	for reg, v := range r.args {
 		sim.SetPhysReg(reg, v)
 		ref.SetReg(reg, v)

@@ -1,13 +1,16 @@
 package cosim
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"tm3270/internal/config"
 	"tm3270/internal/isa"
 	"tm3270/internal/mem"
+	"tm3270/internal/prog"
 	"tm3270/internal/runner"
+	"tm3270/internal/tmsim"
 	"tm3270/internal/workloads"
 )
 
@@ -140,6 +143,103 @@ func TestLockstepLocalization(t *testing.T) {
 	}
 	if seen == 0 {
 		t.Fatal("200 bit flips produced no observable divergence; the harness is blind")
+	}
+}
+
+// TestStrictModesAgree co-simulates with strict memory armed in both
+// models: the pipeline model's per-byte write-validity trap and the
+// reference model's undefined-read trap must agree — both fire at the
+// same cause, or neither fires. Workloads exercise the clean side
+// (their inits define every byte the kernels read); generated programs
+// start from an empty image, so their loads hit undefined bytes and
+// the trap side must agree too.
+func TestStrictModesAgree(t *testing.T) {
+	p := workloads.Small()
+	for _, name := range []string{"memset", "memcpy", "filter", "rgb2yuv", "mp3_synth"} {
+		w, err := workloads.ByName(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tgt := range allTargets() {
+			res, err := RunWorkload(w, tgt, Options{StrictMem: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res == nil {
+				continue // target cannot schedule the workload
+			}
+			if res.Div != nil {
+				t.Errorf("%s on %s under strict: %s", name, tgt.Name, res.Div)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		seed := rng.Int63()
+		res, err := RunGenerated(seed, config.ConfigD(), 60, Options{StrictMem: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Div != nil {
+			t.Errorf("gen seed %d under strict: %s", seed, res.Div)
+		}
+	}
+}
+
+// TestStrictUndefinedReadAgreement pins the non-vacuous case: a kernel
+// reading one word past its initialized input. The pipeline model must
+// trap (per-byte validity — the word lies on an already-written page,
+// so the old page-granular check would have passed it), and the
+// co-simulation must still count the run as agreement because the
+// reference model traps for the same canonical reason.
+func TestStrictUndefinedReadAgreement(t *testing.T) {
+	b := prog.NewBuilder("strict_cosim")
+	base, v := b.Reg(), b.Reg()
+	b.Ld32D(v, base, 4) // bytes 4..7 of the buffer: never written
+	b.St32D(base, 8, v)
+	p := b.MustProgram()
+
+	tgt := config.ConfigD()
+	art, err := runner.Compile(p, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := mem.NewFunc()
+	init.Store(0x2000, 4, 0xdeadbeef) // defines bytes 0..3 only
+	args := map[isa.Reg]uint32{art.RegMap.Reg(base): 0x2000}
+	r := &run{name: "strict_cosim", art: art, t: tgt, init: init, args: args}
+
+	// The pipeline model alone must raise the strict trap.
+	sim := r.newSim()
+	sim.StrictMem = true
+	for reg, val := range args {
+		sim.SetPhysReg(reg, val)
+	}
+	runErr := sim.Run()
+	var trap *tmsim.TrapError
+	if !errors.As(runErr, &trap) || trap.Kind != tmsim.TrapUnmappedLoad {
+		t.Fatalf("pipeline model under strict returned %v, want TrapUnmappedLoad", runErr)
+	}
+	if trap.Addr != 0x2004 {
+		t.Errorf("trap addr = %#x, want 0x2004", trap.Addr)
+	}
+
+	// And the harness must see agreement, not a trap divergence.
+	res, err := r.execute(Options{StrictMem: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Div != nil {
+		t.Errorf("strict modes disagree: %s", res.Div)
+	}
+
+	// Without strict, both models read zeroes and finish cleanly.
+	res, err = r.execute(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Div != nil {
+		t.Errorf("non-strict run diverged: %s", res.Div)
 	}
 }
 

@@ -17,12 +17,23 @@ type LoadFault interface {
 	TapLoad(addr uint32, n int, v uint64) uint64
 }
 
+// page is one 4 KB page with a per-byte write-validity bitmap. The
+// TM3270's allocate-on-write-miss data cache tracks validity per byte
+// (Section 2.3); the functional image keeps the same granularity so
+// strict mode can flag reads of individual never-written bytes — the
+// same semantics as the reference model's memory, which the strict
+// co-simulation test holds the two models to.
+type page struct {
+	data  [1 << pageBits]byte
+	valid [1 << (pageBits - 3)]byte
+}
+
 // Func is a sparse functional memory image over the full 32-bit address
 // space. All multi-byte accesses are big-endian and may be non-aligned,
 // matching the ISA's memory semantics. The zero value is an empty image
 // reading as zero everywhere.
 type Func struct {
-	pages map[uint32]*[1 << pageBits]byte
+	pages map[uint32]*page
 
 	// Fault, when non-nil, taps every Load (fault injection).
 	Fault LoadFault
@@ -30,23 +41,22 @@ type Func struct {
 
 // NewFunc returns an empty memory image.
 func NewFunc() *Func {
-	return &Func{pages: make(map[uint32]*[1 << pageBits]byte)}
+	return &Func{pages: make(map[uint32]*page)}
 }
 
-func (m *Func) page(addr uint32, create bool) *[1 << pageBits]byte {
+func (m *Func) page(addr uint32, create bool) *page {
 	idx := addr >> pageBits
 	p := m.pages[idx]
 	if p == nil && create {
-		p = new([1 << pageBits]byte)
+		p = new(page)
 		m.pages[idx] = p
 	}
 	return p
 }
 
 // Mapped reports whether every byte of [addr, addr+n) lies on a page
-// that has been written at least once. The trap model uses it to turn
-// reads of never-initialized memory into diagnosable faults instead of
-// silent zeroes.
+// that has been written at least once (page-granular; see Defined for
+// the per-byte check strict mode uses).
 func (m *Func) Mapped(addr uint32, n int) bool {
 	if n < 1 {
 		n = 1
@@ -59,6 +69,28 @@ func (m *Func) Mapped(addr uint32, n int) bool {
 	}
 	for idx := first; idx <= last; idx++ {
 		if m.pages[idx] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Defined reports whether every byte of [addr, addr+n) has been written
+// at least once. The trap model uses it to turn reads of never-written
+// bytes into diagnosable faults instead of silent zeroes, at the same
+// per-byte granularity as the reference model.
+func (m *Func) Defined(addr uint32, n int) bool {
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		a := addr + uint32(i)
+		p := m.page(a, false)
+		if p == nil {
+			return false
+		}
+		off := a & (1<<pageBits - 1)
+		if p.valid[off/8]&(1<<(off%8)) == 0 {
 			return false
 		}
 	}
@@ -80,14 +112,17 @@ func (m *Func) PageAddrs() []uint32 {
 // ByteAt returns the byte at addr.
 func (m *Func) ByteAt(addr uint32) byte {
 	if p := m.page(addr, false); p != nil {
-		return p[addr&(1<<pageBits-1)]
+		return p.data[addr&(1<<pageBits-1)]
 	}
 	return 0
 }
 
-// SetByte sets the byte at addr.
+// SetByte sets the byte at addr and marks it written.
 func (m *Func) SetByte(addr uint32, v byte) {
-	m.page(addr, true)[addr&(1<<pageBits-1)] = v
+	p := m.page(addr, true)
+	off := addr & (1<<pageBits - 1)
+	p.data[off] = v
+	p.valid[off/8] |= 1 << (off % 8)
 }
 
 // FlipBit inverts one bit of the byte at addr (fault injection).

@@ -22,6 +22,38 @@ func TestFuncBigEndian(t *testing.T) {
 	}
 }
 
+// TestFuncDefinedPerByte: write-validity is tracked per byte, not per
+// page — a written byte's neighbours on the same page stay undefined
+// until individually written. This is the granularity the reference
+// model uses, and strict mode in the pipeline model must match it.
+func TestFuncDefinedPerByte(t *testing.T) {
+	m := mem.NewFunc()
+	if m.Defined(0x2000, 1) {
+		t.Error("empty image must have no defined bytes")
+	}
+	m.Store(0x2004, 4, 0xdeadbeef)
+	if !m.Defined(0x2004, 4) {
+		t.Error("stored bytes must be defined")
+	}
+	if m.Defined(0x2003, 1) || m.Defined(0x2008, 1) {
+		t.Error("neighbours of a store on the same page must stay undefined")
+	}
+	if m.Defined(0x2003, 4) || m.Defined(0x2006, 4) {
+		t.Error("accesses straddling an undefined byte must report undefined")
+	}
+	if !m.Mapped(0x2000, 1) {
+		t.Error("the page holding a written byte is mapped (page-granular view)")
+	}
+	// A write straddling a page boundary defines bytes on both pages.
+	m.Store(0x2fff, 2, 0x1234)
+	if !m.Defined(0x2fff, 2) {
+		t.Error("page-straddling store must define both bytes")
+	}
+	if m.Defined(0x3001, 1) {
+		t.Error("byte past the straddling store must stay undefined")
+	}
+}
+
 func TestFuncRoundTripProperty(t *testing.T) {
 	m := mem.NewFunc()
 	f := func(addr uint32, v uint64, nRaw uint8) bool {

@@ -13,8 +13,9 @@ const pageSize = 1 << pageShift
 // page is one 4 KB page with a per-byte write-validity bitmap. The
 // TM3270's allocate-on-write-miss data cache tracks validity per byte
 // (Section 2.3); the reference model keeps the same granularity so that
-// strict mode can flag reads of individual never-written bytes, finer
-// than the pipeline model's page-granular strict check.
+// strict mode can flag reads of individual never-written bytes — the
+// same per-byte semantics the pipeline model's strict mode now tracks
+// in mem.Func, which the strict co-simulation test asserts.
 type page struct {
 	data  [pageSize]byte
 	valid [pageSize / 8]byte

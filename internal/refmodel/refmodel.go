@@ -44,8 +44,8 @@ const (
 	// TrapMMIO: a malformed access to the prefetch MMIO block.
 	TrapMMIO
 	// TrapUndefinedRead: strict mode only — a load touching a byte never
-	// written (per-byte validity, finer than the pipeline model's
-	// page-granular check).
+	// written (per-byte validity, the same granularity the pipeline
+	// model's strict mode tracks).
 	TrapUndefinedRead
 	// TrapNullStore: strict mode only — a store into the reserved null
 	// page.

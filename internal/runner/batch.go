@@ -2,8 +2,8 @@ package runner
 
 import (
 	"context"
+	"fmt"
 	"runtime"
-	"sync"
 
 	"tm3270/internal/config"
 	"tm3270/internal/workloads"
@@ -60,8 +60,12 @@ func Matrix(names []string, targets []config.Target) []Job {
 
 // Run executes the jobs with bounded parallelism and returns their
 // results indexed exactly like jobs. Cancellation: a canceled ctx
-// aborts in-flight simulations cooperatively (TrapCanceled) and is
-// reported per job; Run itself always returns len(jobs) results.
+// aborts in-flight simulations cooperatively (TrapCanceled) and marks
+// every queued-but-unstarted job with the context's error immediately —
+// no compile, no simulation cycles — so a canceled batch unwinds at
+// worker speed, not at queue-drain speed. Run itself always returns
+// len(jobs) results, and every error of a job canceled before it ran
+// satisfies errors.Is(err, ctx.Err()).
 func (b *Batch) Run(ctx context.Context, jobs []Job) []JobResult {
 	workers := b.Parallel
 	if workers <= 0 {
@@ -79,28 +83,28 @@ func (b *Batch) Run(ctx context.Context, jobs []Job) []JobResult {
 	if len(jobs) == 0 {
 		return results
 	}
-	idxCh := make(chan int)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				results[i] = b.runOne(ctx, cache, jobs[i])
-			}
-		}()
-	}
+	pool := NewPool(workers, 0)
 	for i := range jobs {
-		idxCh <- i
+		i := i
+		if err := pool.Submit(ctx, func() {
+			results[i] = b.runOne(ctx, cache, jobs[i])
+		}); err != nil {
+			results[i] = JobResult{Job: jobs[i],
+				Err: fmt.Errorf("batch: job canceled before start: %w", err)}
+		}
 	}
-	close(idxCh)
-	wg.Wait()
+	pool.Close()
 	return results
 }
 
 // runOne executes a single job: artifact from the cache, a fresh spec
-// instance for the run's private memory image and check state.
+// instance for the run's private memory image and check state. A job a
+// worker picks up after cancellation is marked canceled without
+// compiling or simulating anything.
 func (b *Batch) runOne(ctx context.Context, cache *Cache, j Job) JobResult {
+	if err := ctx.Err(); err != nil {
+		return JobResult{Job: j, Err: fmt.Errorf("batch: job canceled before start: %w", err)}
+	}
 	art, err := cache.Artifact(j.Workload, b.Params, j.Target)
 	if err != nil {
 		return JobResult{Job: j, Err: err}

@@ -277,3 +277,59 @@ func TestBatchCanceled(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchCanceledSkipsQueuedJobs: a batch whose context is already
+// canceled must mark every job with the context error immediately —
+// zero compiles, zero simulation — instead of feeding the queue
+// through the workers one aborted run at a time.
+func TestBatchCanceledSkipsQueuedJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cache := runner.NewCache()
+	b := runner.Batch{Params: workloads.Small(), Parallel: 2, Cache: cache}
+	jobs := runner.Matrix(workloads.Table5Names(), targets())
+	res := b.Run(ctx, jobs)
+	if len(res) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(res), len(jobs))
+	}
+	for _, r := range res {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("%s on %s: want context.Canceled, got %v", r.Job.Workload, r.Job.Target.Name, r.Err)
+		}
+	}
+	if s := cache.Stats(); s.Misses != 0 {
+		t.Errorf("canceled batch compiled %d artifacts, want 0", s.Misses)
+	}
+}
+
+// TestBatchMidRunCancellation: cancellation raised while the first job
+// is executing must abort that run cooperatively (TrapCanceled) and
+// stop every queued job before it compiles anything.
+func TestBatchMidRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cache := runner.NewCache()
+	var once sync.Once
+	b := runner.Batch{
+		Params:   workloads.Small(),
+		Parallel: 1,
+		Cache:    cache,
+		Options: []runner.Option{runner.WithMachineSetup(func(*tmsim.Machine) {
+			once.Do(cancel) // cancel while the first admitted run is live
+		})},
+	}
+	jobs := runner.Matrix(workloads.Table5Names(), []config.Target{config.ConfigD()})
+	res := b.Run(ctx, jobs)
+	var trap *tmsim.TrapError
+	if !errors.As(res[0].Err, &trap) || trap.Kind != tmsim.TrapCanceled {
+		t.Fatalf("first job: want TrapCanceled, got %v", res[0].Err)
+	}
+	for _, r := range res[1:] {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s: want context.Canceled, got %v", r.Job.Workload, r.Err)
+		}
+	}
+	if s := cache.Stats(); s.Misses != 1 {
+		t.Errorf("batch compiled %d artifacts after mid-run cancel, want exactly the first", s.Misses)
+	}
+}

@@ -1,0 +1,215 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"tm3270/internal/service"
+)
+
+// TestChaos is the acceptance gate for the robustness envelope: many
+// concurrent tenants hammer a deliberately under-provisioned server
+// with fault-injected, deadline-squeezed, and randomly-deleted
+// sessions, and the invariants must hold:
+//
+//   - overload answers 429, never a 5xx and never a hang;
+//   - every admitted run resolves to a structured status;
+//   - a panic quarantines only its own session;
+//   - the final drain delivers every in-flight response.
+//
+// The session count scales with -short: 120 sessions in short mode,
+// 1000 otherwise.
+func TestChaos(t *testing.T) {
+	nSessions := 1000
+	if testing.Short() {
+		nSessions = 120
+	}
+	runsPer := 3
+
+	// Panic injection: one tenant in sixteen hits a worker fault on
+	// its second run.
+	srv, ts := newServer(t, service.Config{
+		Workers:     8,
+		QueueDepth:  16,
+		MaxSessions: nSessions + 8,
+		RetryAfter:  20 * time.Millisecond,
+		RunDeadline: 20 * time.Second,
+		BeforeRun: func(id string, seq int64) {
+			if seq == 2 && chaosVictim(id) {
+				panic("chaos: injected worker fault in " + id)
+			}
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	workloadsPool := []string{"memcpy", "memset", "filter", "rgb2yuv", "majority_sel"}
+	targets := []string{"a", "b", "c", "d"}
+	injects := []string{"", "", "busdelay:0.5:64", "delaypf:0.5:100", ""}
+
+	type tally struct {
+		ok, trap, timeout, canceled, panicked int
+		quarantined409, shed429, fiveXX       int
+		transport                             int
+	}
+	var mu sync.Mutex
+	var tot tally
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 64) // bound concurrent client goroutines
+	for i := 0; i < nSessions; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(int64(i)))
+			c := newClient(ts)
+			c.MaxAttempts = 50 // overload is expected; keep retrying
+
+			var local tally
+			defer func() {
+				mu.Lock()
+				tot.ok += local.ok
+				tot.trap += local.trap
+				tot.timeout += local.timeout
+				tot.canceled += local.canceled
+				tot.panicked += local.panicked
+				tot.quarantined409 += local.quarantined409
+				tot.shed429 += local.shed429
+				tot.fiveXX += local.fiveXX
+				tot.transport += local.transport
+				mu.Unlock()
+			}()
+
+			info, err := c.CreateSession(ctx, service.CreateSessionRequest{
+				Workload: workloadsPool[rng.Intn(len(workloadsPool))],
+				Target:   targets[rng.Intn(len(targets))],
+			})
+			if err != nil {
+				local.transport++
+				t.Errorf("session %d: create failed: %v", i, err)
+				return
+			}
+			for r := 0; r < runsPer; r++ {
+				req := service.RunRequest{
+					Inject: injects[rng.Intn(len(injects))],
+					Seed:   int64(i*runsPer + r),
+				}
+				if rng.Intn(8) == 0 {
+					req.DeadlineMS = 1 // squeeze some runs into timeouts
+				}
+				rep, err := c.Run(ctx, info.ID, req)
+				if err != nil {
+					ae, ok := err.(*service.APIError)
+					switch {
+					case ok && ae.Code == http.StatusConflict:
+						local.quarantined409++
+					case ok && ae.Code == http.StatusTooManyRequests:
+						local.shed429++
+					case ok && ae.Code >= 500:
+						local.fiveXX++
+						t.Errorf("session %s: got %d: %s", info.ID, ae.Code, ae.Msg)
+					default:
+						local.transport++
+						t.Errorf("session %s run %d: %v", info.ID, r, err)
+					}
+					continue
+				}
+				switch rep.Status {
+				case service.StatusOK:
+					local.ok++
+				case service.StatusTrap:
+					local.trap++
+				case service.StatusTimeout:
+					local.timeout++
+				case service.StatusCanceled:
+					local.canceled++
+				case service.StatusPanic:
+					local.panicked++
+				default:
+					t.Errorf("session %s run %d: unstructured status %q (%s)",
+						info.ID, r, rep.Status, rep.Error)
+				}
+			}
+			// A few tenants delete themselves mid-campaign to exercise
+			// DELETE-under-load.
+			if rng.Intn(10) == 0 {
+				if err := c.DeleteSession(ctx, info.ID); err != nil {
+					if ae, ok := err.(*service.APIError); !ok || ae.Code < 400 || ae.Code >= 500 {
+						t.Errorf("session %s: delete failed: %v", info.ID, err)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// The random 1 ms squeezes only bite when contention slows a run
+	// past its deadline, so pin the timeout path with one run that
+	// cannot finish in time.
+	squeezeClient := newClient(ts)
+	squeezeClient.MaxAttempts = 50
+	squeeze, err := squeezeClient.CreateSession(ctx, service.CreateSessionRequest{
+		Workload: "mpeg2_super", Params: "full",
+	})
+	if err != nil {
+		t.Fatalf("squeeze session: %v", err)
+	}
+	rep, err := squeezeClient.Run(ctx, squeeze.ID, service.RunRequest{DeadlineMS: 1})
+	if err != nil {
+		t.Fatalf("squeeze run: %v", err)
+	}
+	if rep.Status != service.StatusTimeout {
+		t.Errorf("squeeze run status = %q (%s), want timeout", rep.Status, rep.Error)
+	}
+	mu.Lock()
+	if rep.Status == service.StatusTimeout {
+		tot.timeout++
+	}
+	mu.Unlock()
+
+	// Drain: no new work, all in-flight runs settle.
+	dctx, dcancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer dcancel()
+	if err := srv.Drain(dctx); err != nil {
+		t.Errorf("drain after chaos did not complete cleanly: %v", err)
+	}
+
+	snap := srv.Snapshot()
+	if snap["service.runs.admitted"] != snap["service.runs.completed"] {
+		t.Errorf("admitted %d != completed %d — runs were dropped",
+			snap["service.runs.admitted"], snap["service.runs.completed"])
+	}
+	if tot.fiveXX != 0 {
+		t.Errorf("%d responses were 5xx; the data plane must shed with 429", tot.fiveXX)
+	}
+	if tot.ok == 0 {
+		t.Error("no run succeeded; the chaos drowned the service entirely")
+	}
+	if tot.panicked == 0 || snap["service.quarantines"] == 0 {
+		t.Error("panic injection never fired; quarantine path untested")
+	}
+	if tot.timeout == 0 {
+		t.Error("deadline squeeze never fired; timeout path untested")
+	}
+	t.Logf("chaos: %d sessions x %d runs: ok=%d trap=%d timeout=%d canceled=%d panic=%d "+
+		"shed429=%d quarantined409=%d; server: admitted=%d completed=%d quarantines=%d shed(queue=%d quota=%d)",
+		nSessions, runsPer, tot.ok, tot.trap, tot.timeout, tot.canceled, tot.panicked,
+		tot.shed429, tot.quarantined409,
+		snap["service.runs.admitted"], snap["service.runs.completed"],
+		snap["service.quarantines"], snap["service.shed.queue"], snap["service.shed.quota"])
+}
+
+// chaosVictim deterministically marks ~1/16 of sessions for panic
+// injection, keyed on the numeric session id.
+func chaosVictim(id string) bool {
+	var n int
+	fmt.Sscanf(id, "s-%d", &n)
+	return n%16 == 3
+}

@@ -1,0 +1,235 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ClientStats counts what a client saw, for load reports.
+type ClientStats struct {
+	Requests atomic.Int64 // HTTP requests issued, including retries
+	Retries  atomic.Int64 // sleeps taken after a shed response
+	Shed     atomic.Int64 // 429 responses received
+	FiveXX   atomic.Int64 // 5xx responses received (the load test asserts 0)
+	Errors   atomic.Int64 // transport errors / retry budget exhausted
+}
+
+// Client speaks the daemon's API with shed-aware retry: a 429 is not a
+// failure but a backpressure signal, so the client sleeps for the
+// server's hint (body retry_after_ms preferred, Retry-After header as
+// the fallback) plus jitter, then retries up to MaxAttempts.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8270".
+	Base string
+	// HTTP is the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+	// MaxAttempts bounds tries per request (<=0 means 8).
+	MaxAttempts int
+	// Stats tallies outcomes across all calls.
+	Stats ClientStats
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) attempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 8
+}
+
+// jitter returns a uniform duration in [0, d).
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return time.Duration(c.rng.Int63n(int64(d)))
+}
+
+// backoff extracts the server's retry hint from a shed response.
+func backoff(resp *http.Response, body []byte) time.Duration {
+	var hint struct {
+		RetryAfterMS int64 `json:"retry_after_ms"`
+	}
+	if json.Unmarshal(body, &hint) == nil && hint.RetryAfterMS > 0 {
+		return time.Duration(hint.RetryAfterMS) * time.Millisecond
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 100 * time.Millisecond
+}
+
+// do issues one API call with shed-aware retry and decodes the
+// response into out (when non-nil). Non-429 error statuses return an
+// *APIError carrying the code; 429s retry until the budget runs out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var payload []byte
+	if in != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	var last error
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		c.Stats.Requests.Add(1)
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			c.Stats.Errors.Add(1)
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			c.Stats.Errors.Add(1)
+			return err
+		}
+		switch {
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(body, out)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			c.Stats.Shed.Add(1)
+			d := backoff(resp, body)
+			last = &APIError{Code: resp.StatusCode, Msg: apiMessage(body),
+				RetryAfter: d}
+			if attempt+1 >= c.attempts() {
+				// Budget spent: surface the shed response itself.
+				c.Stats.Errors.Add(1)
+				return last
+			}
+			c.Stats.Retries.Add(1)
+			select {
+			case <-time.After(d + c.jitter(d/2)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		default:
+			if resp.StatusCode >= 500 {
+				c.Stats.FiveXX.Add(1)
+			}
+			return &APIError{Code: resp.StatusCode, Msg: apiMessage(body)}
+		}
+	}
+	// Unreachable: the 429 arm returns once the budget is spent; keep a
+	// defensive error for future control-flow edits.
+	c.Stats.Errors.Add(1)
+	return fmt.Errorf("retry budget exhausted after %d attempts: %w", c.attempts(), last)
+}
+
+// apiMessage pulls the error field out of a JSON error body, falling
+// back to the raw body.
+func apiMessage(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(body))
+}
+
+// CreateSession creates a session and returns its info.
+func (c *Client) CreateSession(ctx context.Context, req CreateSessionRequest) (*SessionInfo, error) {
+	var info SessionInfo
+	if err := c.do(ctx, http.MethodPost, "/sessions", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Run executes one run in the session and returns its reply.
+func (c *Client) Run(ctx context.Context, id string, req RunRequest) (*RunReply, error) {
+	var rep RunReply
+	if err := c.do(ctx, http.MethodPost, "/sessions/"+id+"/runs", req, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Session fetches a session's info and counters.
+func (c *Client) Session(ctx context.Context, id string) (*SessionInfo, error) {
+	var info SessionInfo
+	if err := c.do(ctx, http.MethodGet, "/sessions/"+id, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Retune applies new options to the session.
+func (c *Client) Retune(ctx context.Context, id string, opts SessionOptions) (*SessionInfo, error) {
+	var info SessionInfo
+	if err := c.do(ctx, http.MethodPut, "/sessions/"+id, opts, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// DeleteSession cancels and removes the session.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/sessions/"+id, nil, nil)
+}
+
+// Metrics fetches the server's full counter snapshot.
+func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
+	var snap map[string]int64
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &snap); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// WaitReady polls /readyz until the server answers 200 or ctx expires.
+func (c *Client) WaitReady(ctx context.Context) error {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.httpClient().Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// APIError is a structured request failure: an HTTP status, a message,
+// and (for shed responses) the backoff hint clients should honor.
+type APIError struct {
+	Code       int           `json:"-"`
+	Msg        string        `json:"error"`
+	RetryAfter time.Duration `json:"-"`
+	// RetryAfterMS mirrors RetryAfter in the JSON body so clients can
+	// back off at sub-second precision (the Retry-After header rounds
+	// up to whole seconds).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+func (e *APIError) Error() string { return e.Msg }
+
+// writeError renders any error as JSON. *APIError keeps its status and
+// attaches Retry-After; anything else is a 400 — the daemon reserves
+// 5xx for nothing on the data plane.
+func writeError(w http.ResponseWriter, err error) {
+	ae, ok := err.(*APIError)
+	if !ok {
+		ae = &APIError{Code: http.StatusBadRequest, Msg: err.Error()}
+	}
+	if ae.RetryAfter > 0 {
+		ae.RetryAfterMS = ae.RetryAfter.Milliseconds()
+		secs := int64((ae.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	writeJSON(w, ae.Code, ae)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Handler builds the daemon's HTTP API:
+//
+//	POST   /sessions            create a session          (CTRL plane)
+//	GET    /sessions            list sessions
+//	GET    /sessions/{id}       session info + counters
+//	PUT    /sessions/{id}       retune session options
+//	DELETE /sessions/{id}       cancel + remove a session
+//	POST   /sessions/{id}/runs  execute one run           (I/O plane)
+//	GET    /healthz             liveness + counter summary
+//	GET    /readyz              200, or 503 while draining
+//	GET    /metrics             full telemetry snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req CreateSessionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, &APIError{Code: 400, Msg: "bad request body: " + err.Error()})
+			return
+		}
+		info, err := s.CreateSession(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Sessions())
+	})
+
+	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.SessionInfo(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+
+	mux.HandleFunc("PUT /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		var opts SessionOptions
+		if err := json.NewDecoder(r.Body).Decode(&opts); err != nil {
+			writeError(w, &APIError{Code: 400, Msg: "bad request body: " + err.Error()})
+			return
+		}
+		info, err := s.Retune(r.PathValue("id"), opts)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+
+	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.DeleteSession(r.PathValue("id")); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+	})
+
+	mux.HandleFunc("POST /sessions/{id}/runs", func(w http.ResponseWriter, r *http.Request) {
+		var req RunRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, &APIError{Code: 400, Msg: "bad request body: " + err.Error()})
+			return
+		}
+		reply, err := s.Submit(r.PathValue("id"), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		// The run owns the worker now; even if the client hangs up we
+		// wait for its reply so accounting stays exact, but a gone
+		// client gets no body. The run itself is bounded by its own
+		// deadline, so this wait is too.
+		rep := <-reply
+		writeJSON(w, http.StatusOK, rep)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":    "ok",
+			"uptime_ms": time.Since(s.start).Milliseconds(),
+			"draining":  s.Draining(),
+			"counters":  s.Snapshot(),
+		})
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.Snapshot().WriteJSON(w)
+	})
+
+	return mux
+}

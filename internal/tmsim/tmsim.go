@@ -107,9 +107,11 @@ type Machine struct {
 	// schedules that stall rather than spin.
 	Deadline time.Duration
 
-	// StrictMem, when set, traps loads that touch memory pages never
-	// written (instead of silently reading zeroes) and stores into the
-	// reserved null page.
+	// StrictMem, when set, traps loads that touch bytes never written
+	// (instead of silently reading zeroes) and stores into the reserved
+	// null page. Validity is tracked per byte, matching the reference
+	// model's strict memory (the strict co-simulation test holds the
+	// two models to identical trap behaviour).
 	StrictMem bool
 
 	// RecorderDepth sets the flight-recorder length (0 = default).
@@ -243,9 +245,9 @@ func (b busMem) Load(addr uint32, n int) uint64 {
 	if b.pf != nil && prefetch.IsMMIO(addr) {
 		return uint64(b.pf.LoadMMIO(addr))
 	}
-	if b.strict && !b.f.Mapped(addr, n) {
+	if b.strict && !b.f.Defined(addr, n) {
 		panic(&memTrap{kind: TrapUnmappedLoad, addr: addr,
-			reason: fmt.Sprintf("%d-byte load from unmapped memory", n)})
+			reason: fmt.Sprintf("%d-byte load touches never-written bytes", n)})
 	}
 	return b.f.Load(addr, n)
 }

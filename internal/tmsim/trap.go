@@ -15,8 +15,8 @@ type TrapKind int
 const (
 	// TrapNone is the zero value; a real TrapError never carries it.
 	TrapNone TrapKind = iota
-	// TrapUnmappedLoad is a load touching a page never written
-	// (strict-memory mode).
+	// TrapUnmappedLoad is a load touching a byte never written
+	// (strict-memory mode; per-byte write-validity tracking).
 	TrapUnmappedLoad
 	// TrapUnmappedStore is a store into the reserved null page
 	// (strict-memory mode).

@@ -107,6 +107,28 @@ func TestStrictMappedLoadRuns(t *testing.T) {
 	}
 }
 
+// TestStrictPerByteValidity: strict mode tracks write-validity per
+// byte, so a load of never-written bytes traps even when it lands on a
+// page other writes have already populated (the page-granular check
+// this replaces would have let it pass silently).
+func TestStrictPerByteValidity(t *testing.T) {
+	b := prog.NewBuilder("partial_page_load")
+	base, v := b.Reg(), b.Reg()
+	b.Ld32D(v, base, 0x40) // same page as the written word, never written
+	b.St32D(base, 4, v)
+	p := b.MustProgram()
+
+	image := mem.NewFunc()
+	image.Store(0x2000, 4, 0xdeadbeef)
+	m := buildMachine(t, p, config.TM3270(), image)
+	m.StrictMem = true
+	m.SetReg(base, 0x2000)
+	trap := wantTrap(t, m, tmsim.TrapUnmappedLoad)
+	if trap.Addr != 0x2040 {
+		t.Errorf("trap addr = %#x, want 0x2040", trap.Addr)
+	}
+}
+
 func TestStrictNullPageStoreTraps(t *testing.T) {
 	b := prog.NewBuilder("null_store")
 	base := b.Reg()

@@ -1,0 +1,53 @@
+#!/bin/sh
+# serve_smoke.sh: end-to-end service gate. Boots tm3270d on an
+# ephemeral port, drives it with tm3270load (which asserts zero 5xx and
+# zero failed requests), then SIGTERMs the daemon and asserts the drain
+# completed cleanly with every in-flight response delivered
+# (admitted == completed in the final counter flush).
+set -eu
+
+GO="${GO:-go}"
+PORT="${SMOKE_PORT:-18270}"
+BASE="http://127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+trap 'kill "$DPID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "serve-smoke: building"
+"$GO" build -o "$TMP/tm3270d" ./cmd/tm3270d
+"$GO" build -o "$TMP/tm3270load" ./cmd/tm3270load
+
+# A deliberately tiny worker pool and queue so the load test exercises
+# live shedding, with a fast retry hint so the campaign stays quick.
+"$TMP/tm3270d" -addr "127.0.0.1:${PORT}" -workers 2 -queue 2 \
+    -retry-after 50ms -drain-deadline 20s 2> "$TMP/daemon.log" &
+DPID=$!
+
+echo "serve-smoke: driving load at $BASE"
+"$TMP/tm3270load" -base "$BASE" -sessions 24 -runs 6 -workload mpeg2_a -timeout 3m
+
+echo "serve-smoke: draining daemon (SIGTERM)"
+kill -TERM "$DPID"
+i=0
+while kill -0 "$DPID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "serve-smoke: FAIL — daemon did not exit within 30s of SIGTERM" >&2
+        cat "$TMP/daemon.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+if ! grep -q "drained cleanly" "$TMP/daemon.log"; then
+    echo "serve-smoke: FAIL — daemon log missing clean-drain marker" >&2
+    cat "$TMP/daemon.log" >&2
+    exit 1
+fi
+admitted=$(sed -n 's/.*"service\.runs\.admitted": *\([0-9]*\).*/\1/p' "$TMP/daemon.log" | tail -1)
+completed=$(sed -n 's/.*"service\.runs\.completed": *\([0-9]*\).*/\1/p' "$TMP/daemon.log" | tail -1)
+if [ -z "$admitted" ] || [ "$admitted" != "$completed" ]; then
+    echo "serve-smoke: FAIL — admitted=${admitted:-?} completed=${completed:-?}; runs were dropped" >&2
+    cat "$TMP/daemon.log" >&2
+    exit 1
+fi
+echo "serve-smoke: PASS — zero 5xx, clean drain, admitted=$admitted completed=$completed"
