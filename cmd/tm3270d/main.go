@@ -6,13 +6,20 @@
 // without taking the daemon down, and SIGTERM/SIGINT drains
 // gracefully: admission closes, in-flight runs finish (or are canceled
 // at the drain deadline with structured responses), the final counter
-// snapshot flushes to stderr, then the process exits.
+// snapshot and per-stage latency report flush to stderr, then the
+// process exits.
+//
+// Observability: every request carries a request ID joining one
+// structured (slog JSON) log line, the request's span tree and any
+// error body; /metrics serves counters plus fixed-bucket latency
+// histograms; -trace FILE writes the whole serving window as a
+// Perfetto-loadable span trace on exit, sessions as tracks.
 //
 // Usage:
 //
 //	tm3270d [-addr :8270] [-workers N] [-queue 64] [-max-sessions 4096]
 //	        [-quota 8] [-run-deadline 30s] [-drain-deadline 30s]
-//	        [-retry-after 1s]
+//	        [-retry-after 1s] [-trace FILE] [-span-cap N] [-log-json=true]
 package main
 
 import (
@@ -20,9 +27,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -38,16 +47,24 @@ func main() {
 	runDeadline := flag.Duration("run-deadline", 30*time.Second, "default per-run wall-clock budget")
 	drainDeadline := flag.Duration("drain-deadline", 30*time.Second, "shutdown budget for in-flight runs")
 	retryAfter := flag.Duration("retry-after", time.Second, "backoff hint on shed responses")
+	tracePath := flag.String("trace", "", "write the serving-window span trace (Chrome trace-event JSON) here on exit")
+	spanCap := flag.Int("span-cap", 0, "span recorder bound in request trees (0 = default)")
+	logJSON := flag.Bool("log-json", true, "emit one structured JSON log line per request to stderr")
 	flag.Parse()
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		MaxSessions:  *maxSessions,
 		SessionQuota: *quota,
 		RunDeadline:  *runDeadline,
 		RetryAfter:   *retryAfter,
-	})
+		SpanCap:      *spanCap,
+	}
+	if *logJSON {
+		cfg.Log = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	srv := service.New(cfg)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
@@ -79,9 +96,51 @@ func main() {
 	}
 	srv.Close()
 
-	// Flush the final telemetry snapshot so operators can post-mortem a
-	// drained instance.
+	if *tracePath != "" {
+		if err := writeTrace(srv, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "tm3270d: span trace: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "tm3270d: span trace (%d request trees) written to %s\n",
+				srv.Spans().Len(), *tracePath)
+		}
+	}
+
+	// Flush the final telemetry snapshot and latency report so
+	// operators can post-mortem a drained instance.
 	fmt.Fprintln(os.Stderr, "tm3270d: final counters:")
 	srv.Snapshot().WriteJSON(os.Stderr)
+	latencyReport(srv)
 	fmt.Fprintln(os.Stderr, "tm3270d: drained cleanly")
+}
+
+func writeTrace(srv *service.Server, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := srv.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// latencyReport prints every non-empty latency histogram's derived
+// quantiles, the human half of the /metrics histograms.
+func latencyReport(srv *service.Server) {
+	hists := srv.Histograms()
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(os.Stderr, "tm3270d: latency p50/p95/p99 ms:")
+	for _, name := range names {
+		h := hists[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  %-40s %8.2f %8.2f %8.2f  (n=%d)\n",
+			name, float64(h.P50US)/1000, float64(h.P95US)/1000, float64(h.P99US)/1000, h.Count)
+	}
 }

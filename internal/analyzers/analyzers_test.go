@@ -98,6 +98,31 @@ func wire(r *telemetry.Registry, f func() int64) {
 	}
 }
 
+func TestCounterNamesFlagsHistogramComputedName(t *testing.T) {
+	diags := run(t, "internal/service", `package service
+import "tm3270/internal/telemetry"
+func wire(r *telemetry.Registry, route string, h *telemetry.Histogram) {
+	r.Histogram("service.latency.route."+route, h)
+}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "counternames" ||
+		!strings.Contains(diags[0].Message, "string literal") {
+		t.Fatalf("diags = %v, want 1 computed histogram-name finding", diags)
+	}
+}
+
+func TestCounterNamesAcceptsHistogramLiteral(t *testing.T) {
+	diags := run(t, "internal/service", `package service
+import "tm3270/internal/telemetry"
+func wire(r *telemetry.Registry, h *telemetry.Histogram) {
+	r.Histogram("service.latency.stage.admit", h)
+}
+`)
+	if len(diags) != 0 {
+		t.Errorf("literal histogram name flagged: %v", diags)
+	}
+}
+
 func TestCounterNamesExemptsTelemetryPackage(t *testing.T) {
 	diags := run(t, "internal/telemetry", `package telemetry
 import "tm3270/internal/telemetry"

@@ -17,8 +17,9 @@ const telemetryImport = "tm3270/internal/telemetry"
 var counterNameRE = regexp.MustCompile(`^[a-z0-9]+(\.[a-z0-9]+)+$`)
 
 // CounterNames checks that every telemetry counter registration —
-// X.Counter(name, ...) / X.Func(name, ...) in files importing the
-// telemetry package — passes a literal dotted lower-case name. The
+// X.Counter(name, ...) / X.Func(name, ...) / X.Histogram(name, ...) in
+// files importing the telemetry package — passes a literal dotted
+// lower-case name. The
 // names are the stable schema of the stats-json snapshot and the
 // BENCH_*.json trajectory format; computed names would make the schema
 // depend on runtime state. Package telemetry itself is exempt (its
@@ -43,7 +44,10 @@ func runCounterNames(p *Pass) {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || (sel.Sel.Name != "Counter" && sel.Sel.Name != "Func") || len(call.Args) < 2 {
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			if sel.Sel.Name != "Counter" && sel.Sel.Name != "Func" && sel.Sel.Name != "Histogram" {
 				return true
 			}
 			if lineHasAllow(p.Fset, f, call.Pos()) {

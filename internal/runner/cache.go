@@ -58,6 +58,15 @@ func NewCache() *Cache {
 // the target, compiling at most once per key. The returned artifact is
 // shared and immutable.
 func (c *Cache) Artifact(name string, p workloads.Params, t config.Target) (*Artifact, error) {
+	art, _, err := c.ArtifactHit(name, p, t)
+	return art, err
+}
+
+// ArtifactHit is Artifact plus the per-call hit signal: hit is true
+// when the lookup was served by an existing (completed or in-flight)
+// entry, false when this call created the entry and ran the compile.
+// The request span trees annotate the compile stage with it.
+func (c *Cache) ArtifactHit(name string, p workloads.Params, t config.Target) (art *Artifact, hit bool, err error) {
 	key := cacheKey{name: name, params: p, target: t}
 	c.mu.Lock()
 	e, ok := c.entries[key]
@@ -85,7 +94,7 @@ func (c *Cache) Artifact(name string, p workloads.Params, t config.Target) (*Art
 		c.failures++
 		c.mu.Unlock()
 	}
-	return e.art, e.err
+	return e.art, ok, e.err
 }
 
 // Stats returns the cache's hit/miss counts.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Pool is a bounded worker pool shared by the batch engine and the
@@ -66,6 +67,21 @@ func (p *Pool) TrySubmit(f func()) bool {
 	default:
 		return false
 	}
+}
+
+// SubmitWait is Submit with queue-wait attribution: f receives the
+// time the task spent queued before a worker picked it up, the number
+// the latency histograms and request span trees record as the
+// queue-wait stage.
+func (p *Pool) SubmitWait(ctx context.Context, f func(wait time.Duration)) error {
+	enq := time.Now()
+	return p.Submit(ctx, func() { f(time.Since(enq)) })
+}
+
+// TrySubmitWait is TrySubmit with the same queue-wait attribution.
+func (p *Pool) TrySubmitWait(f func(wait time.Duration)) bool {
+	enq := time.Now()
+	return p.TrySubmit(func() { f(time.Since(enq)) })
 }
 
 // Close stops accepting tasks and waits for the workers to finish the

@@ -124,9 +124,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			c.Stats.Shed.Add(1)
 			d := backoff(resp, body)
 			last = &APIError{Code: resp.StatusCode, Msg: apiMessage(body),
-				RetryAfter: d}
+				RetryAfter: d, RequestID: requestID(resp, body)}
 			if attempt+1 >= c.attempts() {
-				// Budget spent: surface the shed response itself.
+				// Budget spent: surface the shed response itself — its
+				// request ID joins the failure to the server's log line
+				// and span tree.
 				c.Stats.Errors.Add(1)
 				return last
 			}
@@ -140,7 +142,8 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			if resp.StatusCode >= 500 {
 				c.Stats.FiveXX.Add(1)
 			}
-			return &APIError{Code: resp.StatusCode, Msg: apiMessage(body)}
+			return &APIError{Code: resp.StatusCode, Msg: apiMessage(body),
+				RequestID: requestID(resp, body)}
 		}
 	}
 	// Unreachable: the 429 arm returns once the budget is spent; keep a
@@ -159,6 +162,19 @@ func apiMessage(body []byte) string {
 		return e.Error
 	}
 	return string(bytes.TrimSpace(body))
+}
+
+// requestID recovers the server-assigned request ID of a failed call
+// (body field first, response header as the fallback) so shed and
+// timeout failures stay joinable to server logs and span trees.
+func requestID(resp *http.Response, body []byte) string {
+	var e struct {
+		RequestID string `json:"request_id"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.RequestID != "" {
+		return e.RequestID
+	}
+	return resp.Header.Get(RequestIDHeader)
 }
 
 // CreateSession creates a session and returns its info.
@@ -202,13 +218,24 @@ func (c *Client) DeleteSession(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/sessions/"+id, nil, nil)
 }
 
-// Metrics fetches the server's full counter snapshot.
-func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
-	var snap map[string]int64
-	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &snap); err != nil {
+// Metrics fetches the server's counters and latency histograms.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	var m Metrics
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
 		return nil, err
 	}
-	return snap, nil
+	return &m, nil
+}
+
+// RunTrace fetches the retained span tree and final counter snapshot
+// of one run.
+func (c *Client) RunTrace(ctx context.Context, id string, seq int64) (*RunTrace, error) {
+	var rt RunTrace
+	path := fmt.Sprintf("/sessions/%s/runs/%d/trace", id, seq)
+	if err := c.do(ctx, http.MethodGet, path, nil, &rt); err != nil {
+		return nil, err
+	}
+	return &rt, nil
 }
 
 // WaitReady polls /readyz until the server answers 200 or ctx expires.

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
+
+	"tm3270/internal/telemetry"
 )
 
 // APIError is a structured request failure: an HTTP status, a message,
@@ -17,17 +20,30 @@ type APIError struct {
 	// back off at sub-second precision (the Retry-After header rounds
 	// up to whole seconds).
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// RequestID joins the failure to the server's log line and span
+	// tree for the same request.
+	RequestID string `json:"request_id,omitempty"`
 }
 
-func (e *APIError) Error() string { return e.Msg }
+func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("%s (request %s)", e.Msg, e.RequestID)
+	}
+	return e.Msg
+}
 
 // writeError renders any error as JSON. *APIError keeps its status and
 // attaches Retry-After; anything else is a 400 — the daemon reserves
-// 5xx for nothing on the data plane.
+// 5xx for nothing on the data plane. The response's request ID (set by
+// the middleware) rides along in the body so shed and timeout failures
+// stay joinable to server logs.
 func writeError(w http.ResponseWriter, err error) {
 	ae, ok := err.(*APIError)
 	if !ok {
 		ae = &APIError{Code: http.StatusBadRequest, Msg: err.Error()}
+	}
+	if ae.RequestID == "" {
+		ae.RequestID = w.Header().Get(RequestIDHeader)
 	}
 	if ae.RetryAfter > 0 {
 		ae.RetryAfterMS = ae.RetryAfter.Milliseconds()
@@ -45,21 +61,32 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-// Handler builds the daemon's HTTP API:
+// Metrics is the GET /metrics body: every counter plus every latency
+// histogram, keyed by dotted name.
+type Metrics struct {
+	Counters   telemetry.Snapshot                     `json:"counters"`
+	Histograms map[string]telemetry.HistogramSnapshot `json:"histograms"`
+}
+
+// Handler builds the daemon's HTTP API. Every route runs inside the
+// observability middleware: a request ID (minted, or honored from
+// X-Request-ID) joins one structured log line, the request's span tree
+// and the error body; per-route latency histograms feed /metrics.
 //
-//	POST   /sessions            create a session          (CTRL plane)
-//	GET    /sessions            list sessions
-//	GET    /sessions/{id}       session info + counters
-//	PUT    /sessions/{id}       retune session options
-//	DELETE /sessions/{id}       cancel + remove a session
-//	POST   /sessions/{id}/runs  execute one run           (I/O plane)
-//	GET    /healthz             liveness + counter summary
-//	GET    /readyz              200, or 503 while draining
-//	GET    /metrics             full telemetry snapshot
+//	POST   /sessions                       create a session   (CTRL plane)
+//	GET    /sessions                       list sessions
+//	GET    /sessions/{id}                  session info + counters
+//	PUT    /sessions/{id}                  retune session options
+//	DELETE /sessions/{id}                  cancel + remove a session
+//	POST   /sessions/{id}/runs             execute one run    (I/O plane)
+//	GET    /sessions/{id}/runs/{run}/trace span tree + final counters of one run
+//	GET    /healthz                        liveness + counter summary
+//	GET    /readyz                         200, or 503 while draining
+//	GET    /metrics                        counters + latency histograms
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /sessions", s.route("sessions.create", func(w http.ResponseWriter, r *http.Request) {
 		var req CreateSessionRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, &APIError{Code: 400, Msg: "bad request body: " + err.Error()})
@@ -71,22 +98,22 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusCreated, info)
-	})
+	}))
 
-	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /sessions", s.route("sessions.list", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Sessions())
-	})
+	}))
 
-	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /sessions/{id}", s.route("sessions.get", func(w http.ResponseWriter, r *http.Request) {
 		info, err := s.SessionInfo(r.PathValue("id"))
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, info)
-	})
+	}))
 
-	mux.HandleFunc("PUT /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("PUT /sessions/{id}", s.route("sessions.retune", func(w http.ResponseWriter, r *http.Request) {
 		var opts SessionOptions
 		if err := json.NewDecoder(r.Body).Decode(&opts); err != nil {
 			writeError(w, &APIError{Code: 400, Msg: "bad request body: " + err.Error()})
@@ -98,23 +125,24 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, info)
-	})
+	}))
 
-	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("DELETE /sessions/{id}", s.route("sessions.delete", func(w http.ResponseWriter, r *http.Request) {
 		if err := s.DeleteSession(r.PathValue("id")); err != nil {
 			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
-	})
+	}))
 
-	mux.HandleFunc("POST /sessions/{id}/runs", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /sessions/{id}/runs", s.route("runs", func(w http.ResponseWriter, r *http.Request) {
 		var req RunRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, &APIError{Code: 400, Msg: "bad request body: " + err.Error()})
 			return
 		}
-		reply, err := s.Submit(r.PathValue("id"), req)
+		runStart := time.Now()
+		reply, err := s.Submit(r.Context(), r.PathValue("id"), req)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -124,30 +152,52 @@ func (s *Server) Handler() http.Handler {
 		// client gets no body. The run itself is bounded by its own
 		// deadline, so this wait is too.
 		rep := <-reply
+		ri := requestFrom(r.Context())
+		encSpan := ri.Span().StartChild("encode-response")
+		encStart := time.Now()
 		writeJSON(w, http.StatusOK, rep)
-	})
+		encSpan.End()
+		s.lat.encode.Observe(time.Since(encStart))
+		s.lat.run.Observe(time.Since(runStart))
+	}))
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /sessions/{id}/runs/{run}/trace", s.route("runs.trace", func(w http.ResponseWriter, r *http.Request) {
+		seq, err := strconv.ParseInt(r.PathValue("run"), 10, 64)
+		if err != nil {
+			writeError(w, &APIError{Code: 400, Msg: "bad run sequence: " + err.Error()})
+			return
+		}
+		rt, err := s.RunTrace(r.PathValue("id"), seq)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rt)
+	}))
+
+	mux.HandleFunc("GET /healthz", s.route("healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":    "ok",
 			"uptime_ms": time.Since(s.start).Milliseconds(),
 			"draining":  s.Draining(),
 			"counters":  s.Snapshot(),
 		})
-	})
+	}))
 
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /readyz", s.route("readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.Draining() {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
-	})
+	}))
 
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		s.Snapshot().WriteJSON(w)
-	})
+	mux.HandleFunc("GET /metrics", s.route("metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Metrics{
+			Counters:   s.Snapshot(),
+			Histograms: s.Histograms(),
+		})
+	}))
 
 	return mux
 }

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"tm3270/internal/telemetry"
+)
+
+// RequestIDHeader carries the request ID on every response. Incoming
+// requests may supply their own via the same header; otherwise the
+// server mints one. The ID is the join key across the three
+// observability surfaces: the structured request log line, the
+// request's span tree, and error bodies.
+const RequestIDHeader = "X-Request-ID"
+
+// requestInfo is the request-scoped trace context threaded from the
+// HTTP edge down to the cycle model: the request ID and the root span
+// of the request's span tree.
+type requestInfo struct {
+	id   string
+	span *telemetry.Span
+}
+
+// ID is nil-safe: direct API calls that bypass the HTTP edge carry no
+// request context and report an empty ID.
+func (ri *requestInfo) ID() string {
+	if ri == nil {
+		return ""
+	}
+	return ri.id
+}
+
+// Span is nil-safe; a nil requestInfo yields a nil (disabled) span.
+func (ri *requestInfo) Span() *telemetry.Span {
+	if ri == nil {
+		return nil
+	}
+	return ri.span
+}
+
+type requestKey struct{}
+
+func withRequest(ctx context.Context, ri *requestInfo) context.Context {
+	return context.WithValue(ctx, requestKey{}, ri)
+}
+
+// requestFrom recovers the request-scoped trace context; nil when the
+// call did not enter through the instrumented HTTP edge.
+func requestFrom(ctx context.Context) *requestInfo {
+	ri, _ := ctx.Value(requestKey{}).(*requestInfo)
+	return ri
+}
+
+// statusWriter captures the response status for the log line and the
+// route histogram.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route wraps one handler in the observability middleware: it mints
+// (or accepts) the request ID, opens the request's root span on the
+// session's track, observes the route latency histogram, and emits
+// exactly one structured log line per request — all three sharing the
+// request ID.
+func (s *Server) route(label string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.lat.route[label]
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get(RequestIDHeader)
+		if reqID == "" {
+			reqID = fmt.Sprintf("req-%d", s.nextReq.Add(1))
+		}
+		w.Header().Set(RequestIDHeader, reqID)
+
+		sp := telemetry.NewSpan(label)
+		sp.Annotate("request_id", reqID)
+		session := r.PathValue("id")
+		if session != "" {
+			sp.SetTrack(session)
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r.WithContext(withRequest(r.Context(), &requestInfo{id: reqID, span: sp})))
+		d := time.Since(start)
+
+		sp.Annotate("status", sw.code)
+		sp.End()
+		s.spans.Record(sp)
+		if hist != nil {
+			hist.Observe(d)
+		}
+		attrs := []slog.Attr{
+			slog.String("request_id", reqID),
+			slog.String("route", label),
+			slog.String("method", r.Method),
+			slog.Int("status", sw.code),
+			slog.Int64("dur_us", d.Microseconds()),
+		}
+		if session != "" {
+			attrs = append(attrs, slog.String("session", session))
+		}
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	}
+}

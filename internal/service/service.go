@@ -28,6 +28,8 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -65,6 +67,12 @@ type Config struct {
 	// chaos suite uses it to inject worker-level failures; production
 	// servers leave it nil.
 	BeforeRun func(sessionID string, seq int64)
+	// Log receives one structured line per request (the request ID
+	// joins it to spans and metrics); nil discards.
+	Log *slog.Logger
+	// SpanCap bounds the serving-window span recorder (<=0 selects
+	// telemetry.DefaultMaxSpans).
+	SpanCap int
 }
 
 func (c *Config) withDefaults() Config {
@@ -102,14 +110,27 @@ type counters struct {
 	sessionsCreated, sessionsDeleted                 atomic.Int64
 }
 
+// latencyHists is the server's fixed-bucket latency histogram block:
+// one histogram per run stage (each observed exactly once per admitted
+// run, so every stage histogram's bucket sum equals
+// service.runs.admitted) plus one per route.
+type latencyHists struct {
+	admit, queue, compile, execute, encode, run *telemetry.Histogram
+	route                                       map[string]*telemetry.Histogram
+}
+
 // Server is one daemon instance. Create it with New, serve its
 // Handler, and shut it down with Drain followed by Close.
 type Server struct {
-	cfg   Config
-	cache *runner.Cache
-	pool  *runner.Pool
-	reg   *telemetry.Registry
-	start time.Time
+	cfg     Config
+	cache   *runner.Cache
+	pool    *runner.Pool
+	reg     *telemetry.Registry
+	spans   *telemetry.Spans
+	log     *slog.Logger
+	lat     latencyHists
+	nextReq atomic.Int64
+	start   time.Time
 
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
@@ -132,11 +153,17 @@ type Server struct {
 func New(cfg Config) *Server {
 	c := cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	log := c.Log
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:        c,
 		cache:      c.Cache,
 		pool:       runner.NewPool(c.Workers, c.QueueDepth),
 		reg:        telemetry.NewRegistry(),
+		spans:      telemetry.NewSpans(c.SpanCap),
+		log:        log,
 		start:      time.Now(),
 		rootCtx:    ctx,
 		rootCancel: cancel,
@@ -171,10 +198,62 @@ func (s *Server) register() {
 		defer s.mu.Unlock()
 		return int64(len(s.sessions))
 	})
+	s.reg.Func("service.cache.hit", func() int64 { return s.cache.Stats().Hits })
+	s.reg.Func("service.cache.miss", func() int64 { return s.cache.Stats().Misses })
+
+	// Per-stage latency histograms: each observed exactly once per
+	// admitted run, so bucket sums equal service.runs.admitted (the
+	// smoke test's well-formedness assertion).
+	newH := func() *telemetry.Histogram { return telemetry.NewHistogram(nil) }
+	s.lat.admit = newH()
+	s.lat.queue = newH()
+	s.lat.compile = newH()
+	s.lat.execute = newH()
+	s.lat.encode = newH()
+	s.lat.run = newH()
+	s.reg.Histogram("service.latency.stage.admit", s.lat.admit)
+	s.reg.Histogram("service.latency.stage.queue", s.lat.queue)
+	s.reg.Histogram("service.latency.stage.compile", s.lat.compile)
+	s.reg.Histogram("service.latency.stage.execute", s.lat.execute)
+	s.reg.Histogram("service.latency.stage.encode", s.lat.encode)
+	s.reg.Histogram("service.latency.stage.run", s.lat.run)
+
+	// Per-route latency histograms, observed by the middleware for
+	// every request of the route (shed and error responses included).
+	s.lat.route = make(map[string]*telemetry.Histogram)
+	rt := func(label string) *telemetry.Histogram {
+		h := telemetry.NewHistogram(nil)
+		s.lat.route[label] = h
+		return h
+	}
+	s.reg.Histogram("service.latency.route.sessions.create", rt("sessions.create"))
+	s.reg.Histogram("service.latency.route.sessions.list", rt("sessions.list"))
+	s.reg.Histogram("service.latency.route.sessions.get", rt("sessions.get"))
+	s.reg.Histogram("service.latency.route.sessions.retune", rt("sessions.retune"))
+	s.reg.Histogram("service.latency.route.sessions.delete", rt("sessions.delete"))
+	s.reg.Histogram("service.latency.route.runs", rt("runs"))
+	s.reg.Histogram("service.latency.route.runs.trace", rt("runs.trace"))
+	s.reg.Histogram("service.latency.route.healthz", rt("healthz"))
+	s.reg.Histogram("service.latency.route.readyz", rt("readyz"))
+	s.reg.Histogram("service.latency.route.metrics", rt("metrics"))
 }
 
 // Snapshot returns a point-in-time view of every service counter.
 func (s *Server) Snapshot() telemetry.Snapshot { return s.reg.Snapshot() }
+
+// Histograms snapshots every latency histogram, keyed by dotted name.
+func (s *Server) Histograms() map[string]telemetry.HistogramSnapshot {
+	return s.reg.Histograms()
+}
+
+// Spans returns the serving-window span recorder.
+func (s *Server) Spans() *telemetry.Spans { return s.spans }
+
+// WriteTrace exports the serving window's span trees as a
+// Perfetto-loadable Chrome trace-event file: one track per session,
+// each request a span tree of admit → queue-wait → compile →
+// execute → encode-response stages.
+func (s *Server) WriteTrace(w io.Writer) error { return s.spans.WriteTrace(w) }
 
 // Draining reports whether a drain has started.
 func (s *Server) Draining() bool {

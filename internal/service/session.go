@@ -119,6 +119,7 @@ type TrapInfo struct {
 type RunReply struct {
 	Session   string             `json:"session"`
 	Seq       int64              `json:"seq"`
+	RequestID string             `json:"request_id,omitempty"`
 	Status    string             `json:"status"`
 	Error     string             `json:"error,omitempty"`
 	Trap      *TrapInfo          `json:"trap,omitempty"`
@@ -171,7 +172,76 @@ type Session struct {
 	seq      int64
 	inflight int
 
+	// traceMu guards the per-run trace retention ring (the last
+	// runTraceCap runs' span trees and counter snapshots, served by
+	// GET /sessions/{id}/runs/{run}/trace).
+	traceMu   sync.Mutex
+	traces    map[int64]*runTrace
+	traceSeqs []int64
+
 	c sessionCounters
+}
+
+// runTraceCap bounds per-session run-trace retention.
+const runTraceCap = 64
+
+// runTrace is the retained observability record of one run.
+type runTrace struct {
+	reqID    string
+	status   string
+	root     *telemetry.Span
+	counters telemetry.Snapshot
+}
+
+// storeTrace retains one run's trace, evicting the oldest past the cap.
+func (sess *Session) storeTrace(seq int64, rt *runTrace) {
+	sess.traceMu.Lock()
+	defer sess.traceMu.Unlock()
+	if sess.traces == nil {
+		sess.traces = make(map[int64]*runTrace)
+	}
+	sess.traces[seq] = rt
+	sess.traceSeqs = append(sess.traceSeqs, seq)
+	for len(sess.traceSeqs) > runTraceCap {
+		delete(sess.traces, sess.traceSeqs[0])
+		sess.traceSeqs = sess.traceSeqs[1:]
+	}
+}
+
+// RunTrace is the GET /sessions/{id}/runs/{run}/trace body: the run's
+// span tree (request-root down to the execute stage, annotated from
+// the cycle model) and its final counter snapshot, stall counters
+// included. Span times are microseconds since the server's epoch.
+type RunTrace struct {
+	Session   string              `json:"session"`
+	Seq       int64               `json:"seq"`
+	RequestID string              `json:"request_id,omitempty"`
+	Status    string              `json:"status"`
+	Span      *telemetry.SpanJSON `json:"span,omitempty"`
+	Counters  telemetry.Snapshot  `json:"counters,omitempty"`
+}
+
+// RunTrace returns the retained trace of one run of a live session.
+func (s *Server) RunTrace(id string, seq int64) (*RunTrace, error) {
+	sess, ok := s.session(id)
+	if !ok {
+		return nil, &APIError{Code: 404, Msg: fmt.Sprintf("no session %q", id)}
+	}
+	sess.traceMu.Lock()
+	rt, ok := sess.traces[seq]
+	sess.traceMu.Unlock()
+	if !ok {
+		return nil, &APIError{Code: 404,
+			Msg: fmt.Sprintf("session %s retains no trace for run %d", id, seq)}
+	}
+	return &RunTrace{
+		Session:   sess.id,
+		Seq:       seq,
+		RequestID: rt.reqID,
+		Status:    rt.status,
+		Span:      rt.root.JSON(s.spans.Epoch()),
+		Counters:  rt.counters,
+	}, nil
 }
 
 // parseParams maps the API's scale names onto workload parameter sets.
@@ -380,7 +450,13 @@ func (sess *Session) optionsSnapshot() SessionOptions {
 // pipeline and, on acceptance, returns a channel carrying the single
 // reply. A nil channel means the request was refused with the returned
 // *APIError (429 quota/queue/draining, 404 unknown, 409 quarantined).
-func (s *Server) Submit(id string, req RunRequest) (<-chan RunReply, error) {
+// The context carries the request-scoped trace context when the call
+// entered through the HTTP edge: the admission pipeline, queue wait
+// and execution stages land as children of the request's root span,
+// and the per-stage latency histograms observe exactly the admitted
+// runs.
+func (s *Server) Submit(ctx context.Context, id string, req RunRequest) (<-chan RunReply, error) {
+	ri := requestFrom(ctx)
 	if req.Inject != "" {
 		if _, err := faults.ParseSpec(req.Inject); err != nil {
 			return nil, &APIError{Code: 400, Msg: err.Error()}
@@ -400,7 +476,11 @@ func (s *Server) Submit(id string, req RunRequest) (<-chan RunReply, error) {
 			Msg: fmt.Sprintf("session %s is quarantined: %s", id, reason)}
 	}
 
+	admitStart := time.Now()
+	adSpan := ri.Span().StartChild("admit")
 	if !s.admit() {
+		adSpan.Annotate("shed", "draining")
+		adSpan.End()
 		sess.c.shed.Add(1)
 		s.c.shedDraining.Add(1)
 		return nil, &APIError{Code: 429, Msg: "server draining", RetryAfter: s.cfg.RetryAfter}
@@ -409,26 +489,36 @@ func (s *Server) Submit(id string, req RunRequest) (<-chan RunReply, error) {
 	seq, ok := sess.tryAcquire()
 	if !ok {
 		s.runs.Done()
+		adSpan.Annotate("shed", "quota")
+		adSpan.End()
 		sess.c.shed.Add(1)
 		s.c.shedQuota.Add(1)
 		return nil, &APIError{Code: 429,
 			Msg: fmt.Sprintf("session %s quota exhausted", id), RetryAfter: s.cfg.RetryAfter}
 	}
 	reply := make(chan RunReply, 1)
-	accepted := s.pool.TrySubmit(func() {
+	accepted := s.pool.TrySubmitWait(func(wait time.Duration) {
 		defer s.runs.Done()
 		defer sess.release()
-		rep := s.execute(sess, req, seq)
+		s.lat.queue.Observe(wait)
+		qSpan := ri.Span().StartChildAt("queue-wait", time.Now().Add(-wait))
+		qSpan.End()
+		rep := s.execute(sess, req, seq, ri)
 		s.account(sess, &rep)
 		reply <- rep
 	})
 	if !accepted {
 		sess.release()
 		s.runs.Done()
+		adSpan.Annotate("shed", "queue")
+		adSpan.End()
 		sess.c.shed.Add(1)
 		s.c.shedQueue.Add(1)
 		return nil, &APIError{Code: 429, Msg: "admission queue full", RetryAfter: s.cfg.RetryAfter}
 	}
+	adSpan.Annotate("seq", seq)
+	adSpan.End()
+	s.lat.admit.Observe(time.Since(admitStart))
 	s.c.admitted.Add(1)
 	return reply, nil
 }
@@ -462,10 +552,34 @@ func (s *Server) account(sess *Session, rep *RunReply) {
 // panic-isolation boundary: any panic below it — the BeforeRun chaos
 // hook, workload init, the output check, or a simulator-core fault
 // surfacing as TrapInternal — quarantines the session and still
-// produces a structured reply.
-func (s *Server) execute(sess *Session, req RunRequest, seq int64) (rep RunReply) {
+// produces a structured reply. Each stage lands as a child of the
+// request's root span and observes its latency histogram; the run's
+// trace (span tree + final counter snapshot) is retained on the
+// session for the run-trace endpoint.
+func (s *Server) execute(sess *Session, req RunRequest, seq int64, ri *requestInfo) (rep RunReply) {
 	started := time.Now()
-	rep = RunReply{Session: sess.id, Seq: seq}
+	rep = RunReply{Session: sess.id, Seq: seq, RequestID: ri.ID()}
+	var snap telemetry.Snapshot
+	defer func() { // registered first, runs last: rep.Status is final here
+		sess.storeTrace(seq, &runTrace{
+			reqID:    ri.ID(),
+			status:   rep.Status,
+			root:     ri.Span(),
+			counters: snap,
+		})
+	}()
+	// Every admitted run observes each stage histogram exactly once —
+	// the bucket-sum identity the smoke test asserts — so stages a
+	// failed or panicking run never reached record a zero sample.
+	var compileObserved, execObserved bool
+	defer func() {
+		if !compileObserved {
+			s.lat.compile.Observe(0)
+		}
+		if !execObserved {
+			s.lat.execute.Observe(0)
+		}
+	}()
 	defer func() {
 		rep.ElapsedMS = float64(time.Since(started).Microseconds()) / 1000
 		if r := recover(); r != nil {
@@ -495,7 +609,13 @@ func (s *Server) execute(sess *Session, req RunRequest, seq int64) (rep RunReply
 		rep.Status, rep.Error = StatusError, err.Error()
 		return rep
 	}
-	art, err := s.cache.Artifact(sess.workload, sess.params, sess.target)
+	cSpan := ri.Span().StartChild("compile")
+	compileStart := time.Now()
+	art, hit, err := s.cache.ArtifactHit(sess.workload, sess.params, sess.target)
+	cSpan.Annotate("cache_hit", hit)
+	cSpan.End()
+	s.lat.compile.Observe(time.Since(compileStart))
+	compileObserved = true
 	if err != nil {
 		rep.Status, rep.Error = StatusError, err.Error()
 		return rep
@@ -519,20 +639,27 @@ func (s *Server) execute(sess *Session, req RunRequest, seq int64) (rep RunReply
 		inj = faults.New(spec, req.Seed)
 		ropts = append(ropts, runner.WithMachineSetup(func(m *tmsim.Machine) { inj.Arm(m) }))
 	}
-	var sink *runner.Telemetry
-	if req.Telemetry {
-		sink = &runner.Telemetry{}
-		ropts = append(ropts, runner.WithTelemetry(sink))
-	}
+	// The sink is always armed: the retained run trace carries the
+	// final counter snapshot (stall split included) even when the
+	// client did not ask for counters in the reply.
+	sink := &runner.Telemetry{}
+	ropts = append(ropts, runner.WithTelemetry(sink))
 
+	eSpan := ri.Span().StartChild("execute")
+	execStart := time.Now()
 	res, runErr := runner.RunContext(ctx, w, sess.target, ropts...)
+	s.lat.execute.Observe(time.Since(execStart))
+	execObserved = true
 	if res != nil {
 		rep.Cycles = res.Stats.Cycles
 		rep.Instrs = res.Stats.Instrs
 		rep.CPI = res.Stats.CPI()
 		rep.OPI = res.Stats.OPI()
+		res.Machine.AnnotateSpan(eSpan)
 	}
-	if sink != nil {
+	eSpan.End()
+	snap = sink.Snapshot
+	if req.Telemetry {
 		rep.Counters = sink.Snapshot
 	}
 	if inj != nil {

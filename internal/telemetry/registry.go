@@ -23,13 +23,18 @@ import (
 // once at machine construction; reads happen only at snapshot time, so
 // registered counters add zero cost to the simulation loop.
 type Registry struct {
-	names []string
-	read  map[string]func() int64
+	names     []string
+	read      map[string]func() int64
+	histNames []string
+	hists     map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{read: make(map[string]func() int64)}
+	return &Registry{
+		read:  make(map[string]func() int64),
+		hists: make(map[string]*Histogram),
+	}
 }
 
 // Counter registers a live int64 counter under the given dotted name.
@@ -46,6 +51,37 @@ func (r *Registry) Func(name string, f func() int64) {
 	}
 	r.names = append(r.names, name)
 	r.read[name] = f
+}
+
+// Histogram registers a latency histogram under the given dotted
+// name. Histograms share the counter namespace — a name may carry a
+// counter or a histogram, never both — and duplicate registration
+// panics for the same reason Func's does.
+func (r *Registry) Histogram(name string, h *Histogram) {
+	_, dupC := r.read[name]
+	_, dupH := r.hists[name]
+	if dupC || dupH {
+		panic(fmt.Sprintf("telemetry: duplicate histogram %q", name)) //tmvet:allow registration-time wiring bug
+	}
+	r.histNames = append(r.histNames, name)
+	r.hists[name] = h
+}
+
+// HistogramNames returns the registered histogram names, sorted.
+func (r *Registry) HistogramNames() []string {
+	out := append([]string(nil), r.histNames...)
+	sort.Strings(out)
+	return out
+}
+
+// Histograms snapshots every registered histogram at once, keyed by
+// dotted name.
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	out := make(map[string]HistogramSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
 }
 
 // Names returns the registered names in sorted order.

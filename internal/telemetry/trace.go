@@ -138,6 +138,16 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 			Args: map[string]any{"dropped": t.dropped},
 		})
 	}
+	return writeEvents(w, events)
+}
+
+// writeEvents is the shared Chrome trace-event writer behind
+// Trace.WriteJSON and Spans.WriteTrace: one JSON array of events. A
+// nil slice still writes a valid (empty) trace.
+func writeEvents(w io.Writer, events []Event) error {
+	if events == nil {
+		events = []Event{}
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)
 }

@@ -1,0 +1,52 @@
+package tmsim_test
+
+import (
+	"testing"
+	"time"
+
+	"tm3270/internal/config"
+	"tm3270/internal/telemetry"
+	"tm3270/internal/tmsim"
+)
+
+// TestAnnotateSpan: a completed run writes its headline cycle
+// attribution into a request span, the stall split matching the
+// registry's disjoint stall.* counters, and — when an event trace was
+// armed — the size of the cycle-level trace behind the request.
+func TestAnnotateSpan(t *testing.T) {
+	m := buildMachine(t, spinProgram("annotated", 100), config.TM3270(), nil)
+	tr := telemetry.NewTrace(0)
+	m.SetEventTrace(tr)
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	sp := telemetry.NewSpan("execute")
+	m.AnnotateSpan(sp)
+	sp.End()
+	j := sp.JSON(time.Now())
+
+	if j.Args["cycles"] != m.Stats.Cycles || j.Args["instrs"] != m.Stats.Instrs {
+		t.Errorf("args cycles=%v instrs=%v, want %d/%d",
+			j.Args["cycles"], j.Args["instrs"], m.Stats.Cycles, m.Stats.Instrs)
+	}
+	var stalls int64
+	for _, k := range tmsim.StallCounterNames {
+		v, ok := j.Args[k].(int64)
+		if !ok {
+			t.Fatalf("stall annotation %q missing or mistyped: %v", k, j.Args[k])
+		}
+		stalls += v
+	}
+	if want := m.Stats.Cycles - m.Stats.Instrs; stalls != want {
+		t.Errorf("annotated stall split sums to %d, want cycles-instrs = %d", stalls, want)
+	}
+	if j.Args["trace.events"] != tr.Len() || tr.Len() == 0 {
+		t.Errorf("trace.events = %v, want the armed trace's %d", j.Args["trace.events"], tr.Len())
+	}
+
+	// Nil machine and nil span both no-op.
+	var nilM *tmsim.Machine
+	nilM.AnnotateSpan(sp)
+	m.AnnotateSpan(nil)
+}

@@ -73,6 +73,31 @@ func (m *Machine) Registry() *telemetry.Registry {
 	return r
 }
 
+// AnnotateSpan writes the run's headline cycle attribution into a
+// request span — the join point between the serving stack's span
+// trees and the simulator's existing counter/trace telemetry. The
+// stall split mirrors StallCounterNames; when an event trace was
+// armed, the span also records how many structured events it holds so
+// a request trace points at the cycle-level trace behind it.
+func (m *Machine) AnnotateSpan(sp *telemetry.Span) {
+	if m == nil || sp == nil {
+		return
+	}
+	s := &m.Stats
+	sp.Annotate("cycles", s.Cycles)
+	sp.Annotate("instrs", s.Instrs)
+	sp.Annotate("stall.fetch", s.FetchStalls-s.JumpStalls)
+	sp.Annotate("stall.jump", s.JumpStalls)
+	sp.Annotate("stall.data.miss", s.DataMissStalls)
+	sp.Annotate("stall.data.inflight", s.DataInFlightStalls)
+	sp.Annotate("stall.data.cwb", s.DataCWBStalls)
+	sp.Annotate("dcache.miss", m.DC.Stats.LoadMisses+m.DC.Stats.StoreMisses)
+	if m.Events != nil {
+		sp.Annotate("trace.events", m.Events.Len())
+		sp.Annotate("trace.dropped", m.Events.Dropped())
+	}
+}
+
 // SetEventTrace arms the structured event trace on the machine and on
 // every memory-system unit; nil disarms it.
 func (m *Machine) SetEventTrace(t *telemetry.Trace) {
