@@ -17,17 +17,21 @@ vet:
 	$(GO) vet ./...
 
 # lint: go vet, the repo's custom analyzers (cmd/tmvet: panicfree,
-# counternames), and a gofmt cleanliness gate.
-lint: vet tmvet
+# counternames, ctxarg), a gofmt cleanliness gate, and the binary lint
+# over every shipped workload image.
+lint: vet tmvet binlint
 	@fmt=$$(gofmt -l .); \
 	if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 
 tmvet:
 	$(GO) run ./cmd/tmvet .
 
-# binlint: static-verify every shipped workload's encoded binary.
+# binlint: static-verify every shipped workload's encoded binary with
+# the full semantic contract (entry values, memory map, loop bounds):
+# structural checks plus value-range proofs and loop-bound inference.
+# -strict makes any diagnostic — warning included — a failure.
 binlint:
-	$(GO) run ./cmd/tm3270lint
+	$(GO) run ./cmd/tm3270lint -strict -q
 
 test:
 	$(GO) test ./...

@@ -47,12 +47,13 @@ func main() {
 	f7 := flag.Bool("figure7", false, "relative performance A-D")
 	ab := flag.Bool("ablation", false, "motion-estimation ablation")
 	sweep := flag.Bool("sweep", false, "cache capacity x line-size design sweep")
+	wcet := flag.Bool("wcet", false, "static worst-case cycle bounds vs measured")
 	fc := flag.Bool("faults", false, "seeded fault-injection campaign")
 	csim := flag.Bool("cosim", false, "differential conformance campaign (pipeline vs reference model)")
 	jsonOut := flag.String("json", "", "write the machine-readable bench result to this file")
 	flag.Parse()
 
-	all := !(*t1 || *t3 || *t4 || *t6 || *f1 || *f3 || *f7 || *ab || *sweep || *fc || *csim || *jsonOut != "")
+	all := !(*t1 || *t3 || *t4 || *t6 || *f1 || *f3 || *f7 || *ab || *sweep || *wcet || *fc || *csim || *jsonOut != "")
 	p := workloads.Full()
 	meW, meH := 352, 288
 	if *quick {
@@ -129,6 +130,9 @@ func main() {
 	}
 	if all || *sweep {
 		run("sweep", func() error { return experiments.LineSizeSweep(os.Stdout, p) })
+	}
+	if all || *wcet {
+		run("wcet", func() error { return experiments.WCETTable(os.Stdout, p) })
 	}
 	if all || *fc {
 		run("faults", func() error {

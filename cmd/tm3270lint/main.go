@@ -15,13 +15,20 @@
 // through the runner's compile-artifact pipeline; reports print in
 // workload order regardless of parallelism.
 //
+// With -json the command instead writes one JSON document to stdout:
+// per workload its status, size, and every diagnostic as a structured
+// record (check, severity, pc, instruction index, slot, opcode,
+// message), so CI annotators and dashboards consume findings without
+// scraping the text rendering. Exit codes are unchanged.
+//
 // Usage:
 //
 //	tm3270lint [-config A|B|C|D|tm3260|tm3270] [-full] [-strict] [-q]
-//	           [-parallel N] [workload ...]
+//	           [-json] [-parallel N] [workload ...]
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,6 +37,7 @@ import (
 	"strings"
 	"sync"
 
+	"tm3270/internal/binverify"
 	"tm3270/internal/config"
 	"tm3270/internal/runner"
 	"tm3270/internal/workloads"
@@ -40,6 +48,47 @@ type report struct {
 	text   string
 	failed bool
 	fatal  error // setup failures (unknown workload, regalloc, encode)
+	jw     jsonWorkload
+}
+
+// jsonDiag is one finding in the -json rendering.
+type jsonDiag struct {
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	PC       string `json:"pc"` // hex byte address, "0x..."
+	Index    int    `json:"index"`
+	Slot     int    `json:"slot,omitempty"` // 1-based; absent for instruction-level findings
+	Op       string `json:"op,omitempty"`   // mnemonic, when the finding concerns one operation
+	Msg      string `json:"msg"`
+}
+
+// jsonWorkload is one workload's entry in the -json rendering.
+type jsonWorkload struct {
+	Name         string     `json:"name"`
+	Status       string     `json:"status"` // "ok", "findings", "skipped" or "fail"
+	Reason       string     `json:"reason,omitempty"`
+	Instructions int        `json:"instructions,omitempty"`
+	Bytes        int        `json:"bytes,omitempty"`
+	Errors       int        `json:"errors"`
+	Warnings     int        `json:"warnings"`
+	Diags        []jsonDiag `json:"diags,omitempty"`
+}
+
+func jsonDiags(rep *binverify.Report) []jsonDiag {
+	var out []jsonDiag
+	for i := range rep.Diags {
+		d := &rep.Diags[i]
+		out = append(out, jsonDiag{
+			Check:    d.Check,
+			Severity: d.Severity.String(),
+			PC:       fmt.Sprintf("%#x", d.PC),
+			Index:    d.Index,
+			Slot:     d.Slot,
+			Op:       d.Op,
+			Msg:      d.Msg,
+		})
+	}
+	return out
 }
 
 func main() {
@@ -47,6 +96,7 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale workload sizes (default: small)")
 	strict := flag.Bool("strict", false, "treat warnings as failures")
 	quiet := flag.Bool("q", false, "print only workloads with findings")
+	jsonOut := flag.Bool("json", false, "write one JSON document instead of text")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent verifications")
 	flag.Parse()
 
@@ -100,14 +150,30 @@ func main() {
 	wg.Wait()
 
 	failed := false
+	doc := struct {
+		Config    string         `json:"config"`
+		Workloads []jsonWorkload `json:"workloads"`
+	}{Config: tgt.Name}
 	for _, r := range reports {
 		if r.fatal != nil {
 			fmt.Fprintln(os.Stderr, r.fatal)
 			os.Exit(2)
 		}
-		fmt.Print(r.text)
+		if *jsonOut {
+			doc.Workloads = append(doc.Workloads, r.jw)
+		} else {
+			fmt.Print(r.text)
+		}
 		if r.failed {
 			failed = true
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
 	}
 	if failed {
@@ -130,14 +196,27 @@ func verifyOne(name string, p workloads.Params, tgt config.Target, strict, quiet
 		// contrast, are build-system faults.
 		var serr *runner.ScheduleError
 		if errors.As(err, &serr) {
-			return report{text: fmt.Sprintf("%-16s skipped: %v\n", name, err)}
+			return report{
+				text: fmt.Sprintf("%-16s skipped: %v\n", name, err),
+				jw:   jsonWorkload{Name: name, Status: "skipped", Reason: err.Error()},
+			}
 		}
 		return report{fatal: fmt.Errorf("%s: %w", name, err)}
 	}
-	rep, err := art.VerifyStatic(&tgt, art.EntryRegs(w.Args))
+	rep, err := art.VerifyStatic(&tgt, art.VerifyOptions(w))
 	if rep == nil {
 		// A shipped binary that does not decode is itself a finding.
-		return report{text: fmt.Sprintf("%-16s FAIL: %v\n", name, err), failed: true}
+		return report{
+			text:   fmt.Sprintf("%-16s FAIL: %v\n", name, err),
+			failed: true,
+			jw:     jsonWorkload{Name: name, Status: "fail", Reason: err.Error()},
+		}
+	}
+	jw := jsonWorkload{
+		Name: name, Status: "ok",
+		Instructions: art.SchedInstrs(), Bytes: art.CodeBytes(),
+		Errors: rep.Errors(), Warnings: rep.Warnings(),
+		Diags: jsonDiags(rep),
 	}
 	var b strings.Builder
 	bad := rep.Errors() > 0 || (strict && !rep.Clean())
@@ -148,8 +227,9 @@ func verifyOne(name string, p workloads.Params, tgt config.Target, strict, quiet
 				name, art.SchedInstrs(), art.CodeBytes())
 		}
 	default:
+		jw.Status = "findings"
 		fmt.Fprintf(&b, "%-16s %d error(s), %d warning(s):\n", name, rep.Errors(), rep.Warnings())
 		rep.Write(&b)
 	}
-	return report{text: b.String(), failed: bad}
+	return report{text: b.String(), failed: bad, jw: jw}
 }

@@ -138,7 +138,7 @@ func main() {
 	if *verify {
 		// Pre-run gate: decode the encoded image back and statically
 		// verify the machine code the simulator is about to execute.
-		rep, err := art.VerifyStatic(&tgt, art.EntryRegs(w.Args))
+		rep, err := art.VerifyStatic(&tgt, art.VerifyOptions(w))
 		if rep != nil {
 			rep.Write(os.Stderr)
 		}

@@ -17,6 +17,10 @@
 //     dotted lower-case names — the stable public schema of the
 //     BENCH_*.json trajectory format — never computed strings.
 //
+//   - ctxarg: in internal/runner and internal/service, context.Context
+//     is the first parameter of any function that takes one and never a
+//     struct field; //tmvet:allow marks the deliberate lifetime stores.
+//
 // Run the passes with cmd/tmvet (wired into `make lint` / `make check`).
 package analyzers
 
@@ -71,7 +75,7 @@ type Analyzer struct {
 }
 
 // All returns the repository's analyzers.
-func All() []*Analyzer { return []*Analyzer{PanicFree, CounterNames} }
+func All() []*Analyzer { return []*Analyzer{PanicFree, CounterNames, CtxArg} }
 
 // RunFiles applies the analyzers to one already-parsed package; tests
 // use it to drive a pass over in-memory sources.

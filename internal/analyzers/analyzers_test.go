@@ -146,6 +146,71 @@ func wire(r reg, f func() int64) { r.Func("NotDotted", f) }
 	}
 }
 
+func TestCtxArgFlagsLateParameter(t *testing.T) {
+	diags := run(t, "internal/runner", `package runner
+import "context"
+func Submit(id string, ctx context.Context) error { return nil }
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "ctxarg" {
+		t.Fatalf("diags = %v, want 1 ctxarg finding", diags)
+	}
+	if !strings.Contains(diags[0].Message, "first parameter") {
+		t.Errorf("unexpected message: %v", diags[0])
+	}
+}
+
+func TestCtxArgFlagsSharedGroup(t *testing.T) {
+	// (a, ctx context.Context): the context is the second parameter even
+	// though its group is first.
+	diags := run(t, "internal/service", `package service
+import "context"
+func do(a, ctx context.Context) {}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "ctxarg" {
+		t.Fatalf("diags = %v, want 1 ctxarg finding", diags)
+	}
+}
+
+func TestCtxArgFlagsStructField(t *testing.T) {
+	diags := run(t, "internal/service", `package service
+import "context"
+type job struct {
+	name string
+	ctx  context.Context
+}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "struct field") {
+		t.Fatalf("diags = %v, want 1 struct-field finding", diags)
+	}
+}
+
+func TestCtxArgAcceptsDiscipline(t *testing.T) {
+	src := `package runner
+import "context"
+type Server struct {
+	root context.Context //tmvet:allow lifetime, not a request
+}
+func Run(ctx context.Context, name string) error { return nil }
+func (s *Server) Submit(ctx context.Context, f func()) error { return nil }
+func plain(name string) {}
+var hook func(ctx context.Context, n int)
+`
+	if diags := run(t, "internal/runner", src); len(diags) != 0 {
+		t.Errorf("disciplined contexts flagged: %v", diags)
+	}
+}
+
+func TestCtxArgIgnoresColdPackages(t *testing.T) {
+	diags := run(t, "internal/encode", `package encode
+import "context"
+type job struct{ ctx context.Context }
+func do(n int, ctx context.Context) {}
+`)
+	if len(diags) != 0 {
+		t.Errorf("cold package flagged: %v", diags)
+	}
+}
+
 func TestRunWalksRepository(t *testing.T) {
 	diags, err := analyzers.Run("../..", analyzers.All())
 	if err != nil {

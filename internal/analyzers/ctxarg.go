@@ -1,0 +1,99 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ctxPackages are the directories where context discipline is enforced:
+// the batch runner and the serving stack thread cancellation through
+// every blocking call, so a context hiding in a later parameter or in a
+// struct field is either a plumbing mistake or a lifetime bug waiting
+// to happen (a stored context outlives the request it belongs to).
+var ctxPackages = []string{"internal/runner", "internal/service"}
+
+// CtxArg enforces the standard context discipline in the runner and
+// service packages:
+//
+//   - a function taking a context.Context takes it as the first
+//     parameter, named per convention
+//   - context.Context never appears as a struct field
+//
+// Lines marked //tmvet:allow are exempt — the two deliberate stores
+// (a server's root lifetime context, a session's drain context) carry
+// the marker next to a comment justifying the lifetime.
+var CtxArg = &Analyzer{
+	Name: "ctxarg",
+	Doc:  "context.Context must be the first parameter and never a struct field",
+	Run:  runCtxArg,
+}
+
+func runCtxArg(p *Pass) {
+	hot := false
+	for _, h := range ctxPackages {
+		if p.Dir == h || strings.HasSuffix(p.Dir, "/"+h) {
+			hot = true
+			break
+		}
+	}
+	if !hot {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				checkCtxParams(p, f, n)
+			case *ast.StructType:
+				checkCtxFields(p, f, n)
+			}
+			return true
+		})
+	}
+}
+
+// isContextType recognizes the context.Context selector syntactically
+// (the framework is parse-only, no type information).
+func isContextType(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context" && sel.Sel.Name == "Context"
+}
+
+func checkCtxParams(p *Pass, f *ast.File, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	for i, field := range ft.Params.List {
+		if !isContextType(field.Type) {
+			continue
+		}
+		if i == 0 && len(field.Names) <= 1 {
+			continue // first parameter (or sole name of the first group)
+		}
+		if lineHasAllow(p.Fset, f, field.Pos()) {
+			continue
+		}
+		p.Reportf(field.Pos(),
+			"context.Context must be the first parameter (//tmvet:allow to suppress)")
+	}
+}
+
+func checkCtxFields(p *Pass, f *ast.File, st *ast.StructType) {
+	if st.Fields == nil {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if !isContextType(field.Type) {
+			continue
+		}
+		if lineHasAllow(p.Fset, f, field.Pos()) {
+			continue
+		}
+		p.Reportf(field.Pos(),
+			"context.Context stored in a struct field: pass it per call instead (//tmvet:allow to suppress)")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"tm3270/internal/config"
 	"tm3270/internal/encode"
 	"tm3270/internal/isa"
+	"tm3270/internal/mem"
 )
 
 // Severity grades a diagnostic.
@@ -65,6 +66,7 @@ func (s Severity) String() string {
 const (
 	CheckOpcode      = "opcode"       // undefined opcode in the stream
 	CheckPair        = "pair"         // two-slot pairing violations
+	CheckEncoding    = "encoding"     // non-canonical unused encoding fields
 	CheckSlot        = "slot"         // op issued in an illegal slot
 	CheckUnsupported = "unsupported"  // op the target does not implement
 	CheckLoadIssue   = "load-issue"   // too many loads in one instruction
@@ -76,6 +78,9 @@ const (
 	CheckDelayWindow = "delay-window" // overlapping/truncated jump windows
 	CheckUninit      = "uninit"       // may-uninitialized register read
 	CheckUnreachable = "unreachable"  // instruction no path reaches
+	CheckMemRange    = "mem-range"    // access provably outside the memory map
+	CheckDeadGuard   = "dead-guard"   // guard provably false: the op is dead
+	CheckLoopBound   = "loop-bound"   // loop with no inferable/annotated bound
 )
 
 // Diag is one structured finding, locatable in the binary: the
@@ -144,20 +149,38 @@ type Options struct {
 	// When non-nil the may-uninitialized-read analysis runs; nil means
 	// the entry contract is unknown and the analysis is skipped.
 	EntryDefined []isa.Reg
+
+	// EntryValues gives the concrete 32-bit value of entry registers
+	// (the workload's arguments): the seeds of the value-range analysis.
+	// Setting it (even empty) enables the semantic layer — interval
+	// analysis, dead-guard detection and loop-bound inference.
+	EntryValues map[isa.Reg]uint32
+
+	// MemMap declares the address ranges the kernel may touch. When
+	// non-empty, the range analysis flags loads/stores whose address
+	// interval is provably disjoint from every region (CheckMemRange).
+	MemMap []mem.Region
+
+	// LoopBounds maps a loop-header byte address to the maximum number
+	// of times control enters it per run: the annotation escape hatch
+	// for loops whose trip count inference cannot derive.
+	LoopBounds map[uint32]int
+}
+
+// semantic reports whether the abstract-interpretation layer (ranges,
+// dead guards, loop bounds) should run. It is opt-in via EntryValues /
+// MemMap / LoopBounds so that structural-only callers (the fuzzers, the
+// differential campaign over generated programs) keep their baseline
+// "clean means clean" contract.
+func (o *Options) semantic() bool {
+	return o != nil && (o.EntryValues != nil || o.MemMap != nil || o.LoopBounds != nil)
 }
 
 // Verify runs every analysis over a decoded binary for the given
 // target. It never panics and never returns a Go error: all findings,
 // including structural ones, are diagnostics in the report.
 func Verify(dec []encode.DecInstr, t *config.Target, opts *Options) *Report {
-	v := &verifier{dec: dec, t: t, rep: &Report{}}
-	if opts != nil && opts.EntryDefined != nil {
-		v.uninitOn = true
-		v.entryDefined = make(map[isa.Reg]bool, len(opts.EntryDefined)+2)
-		for _, r := range opts.EntryDefined {
-			v.entryDefined[r] = true
-		}
-	}
+	v := newVerifier(dec, t, opts)
 	if len(dec) > 0 {
 		v.run()
 	}
@@ -183,6 +206,7 @@ type vop struct {
 	guard  isa.Reg
 	srcs   []isa.Reg
 	dests  []isa.Reg
+	imm    uint32 // sign-extended immediate, when info.HasImm
 	target uint32 // jump target byte address
 }
 
@@ -190,26 +214,64 @@ type vop struct {
 func (v *vop) mn() string { return v.info.Name }
 
 type verifier struct {
-	dec []encode.DecInstr
-	t   *config.Target
-	rep *Report
+	dec  []encode.DecInstr
+	t    *config.Target
+	rep  *Report
+	opts *Options
 
 	ops   [][]vop // fused operations per instruction
 	succ  [][]int // CFG successor instruction indices (len(dec) = exit)
+	preds [][]int // reverse CFG, built on demand by the semantic layer
 	reach []bool
+	jumps []jumpRef
 
 	uninitOn     bool
 	entryDefined map[isa.Reg]bool
+
+	// Semantic-layer results (nil/empty until the passes run).
+	dom    []bitset     // dom[i]: nodes dominating i (reachable nodes only)
+	loops  []*loop      // natural loops, merged by header
+	ranges []rangeState // per-node register intervals at entry
+}
+
+func newVerifier(dec []encode.DecInstr, t *config.Target, opts *Options) *verifier {
+	v := &verifier{dec: dec, t: t, rep: &Report{}, opts: opts}
+	if opts != nil && opts.EntryDefined != nil {
+		v.uninitOn = true
+		v.entryDefined = make(map[isa.Reg]bool, len(opts.EntryDefined)+2)
+		for _, r := range opts.EntryDefined {
+			v.entryDefined[r] = true
+		}
+	}
+	return v
 }
 
 func (v *verifier) run() {
 	v.extract()
+	v.checkCanonical()
 	v.checkStructure()
-	jumps := v.analyzeJumps()
-	v.buildCFG(jumps)
+	v.jumps = v.analyzeJumps()
+	v.buildCFG(v.jumps)
 	v.checkReachability()
 	v.dataflow()
 	v.checkWritePorts()
+	if v.opts.semantic() {
+		v.semantic()
+	}
+}
+
+// semantic runs the abstract-interpretation layer: dominators, natural
+// loops, the interval fixpoint, loop-bound inference, and the checks
+// built on them (mem-range, dead-guard, loop-bound).
+func (v *verifier) semantic() {
+	v.buildPreds()
+	v.dominators()
+	v.findLoops()
+	v.rangeFixpoint(nil)                  // widen induction candidates to top
+	v.inferLoopBounds()                   // needs entry-edge intervals from the first pass
+	v.rangeFixpoint(v.boundedWidenings()) // re-run with per-loop clamps
+	v.checkRanges()
+	v.checkLoopBounds()
 }
 
 func (v *verifier) diag(idx, slot int, op, check string, sev Severity, format string, args ...any) {
@@ -254,7 +316,7 @@ func (v *verifier) extract() {
 				continue
 			}
 			op := vop{slot: s + 1, oc: isa.Opcode(d.Opcode), info: info,
-				guard: d.Guard, target: d.Target}
+				guard: d.Guard, imm: d.Imm, target: d.Target}
 			for k := 0; k < info.NSrc && k < 2; k++ {
 				op.srcs = append(op.srcs, [2]isa.Reg{d.S1, d.S2}[k])
 			}

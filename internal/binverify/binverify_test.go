@@ -77,42 +77,74 @@ var r2, r3, r4, r5, r10, r11, r12, r13, r14, r15 = isa.Reg(2), isa.Reg(3),
 	isa.Reg(4), isa.Reg(5), isa.Reg(10), isa.Reg(11), isa.Reg(12),
 	isa.Reg(13), isa.Reg(14), isa.Reg(15)
 
+// compileWorkload runs a workload through the schedule/allocate/encode/
+// decode pipeline and builds the full semantic verification options
+// (entry values, memory map, loop-bound annotations) — the same
+// contract runner.(*Artifact).VerifyOptions ships to production
+// callers, rebuilt here because the runner package imports this one.
+func compileWorkload(t *testing.T, w *workloads.Spec, tgt config.Target) ([]encode.DecInstr, *Options, error) {
+	t.Helper()
+	code, err := sched.Schedule(w.Prog, tgt)
+	if err != nil {
+		return nil, nil, err
+	}
+	rm, err := regalloc.Allocate(w.Prog)
+	if err != nil {
+		t.Fatalf("regalloc: %v", err)
+	}
+	enc, err := encode.Encode(code, rm, testBase)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := encode.Decode(enc.Bytes, testBase, len(code.Instrs))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	opts := &Options{EntryValues: map[isa.Reg]uint32{}, MemMap: w.Regions}
+	for v, val := range w.Args {
+		opts.EntryDefined = append(opts.EntryDefined, rm.Reg(v))
+		opts.EntryValues[rm.Reg(v)] = val
+	}
+	if len(w.Prog.LoopBounds) > 0 {
+		opts.LoopBounds = map[uint32]int{}
+		for label, n := range w.Prog.LoopBounds {
+			if idx, ok := code.Labels[label]; ok {
+				opts.LoopBounds[enc.Addr[idx]] = n
+			}
+		}
+	}
+	return dec, opts, nil
+}
+
 // TestWorkloadsVerifyClean is the acceptance gate: every shipped
-// workload, scheduled and encoded for the TM3270, must verify with zero
-// diagnostics of any severity.
+// workload, scheduled and encoded for each target configuration it
+// supports, must verify with zero diagnostics of any severity under the
+// full semantic options — entry values, declared memory map and
+// loop-bound annotations. Zero false positives from the range and loop
+// analyses is what lets `make lint` treat any finding as a regression.
 func TestWorkloadsVerifyClean(t *testing.T) {
-	tgt := config.TM3270()
 	p := workloads.Small()
-	for _, name := range workloads.Names() {
-		w, err := workloads.ByName(name, p)
-		if err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
-		code, err := sched.Schedule(w.Prog, tgt)
-		if err != nil {
-			t.Fatalf("%s: schedule: %v", name, err)
-		}
-		rm, err := regalloc.Allocate(w.Prog)
-		if err != nil {
-			t.Fatalf("%s: regalloc: %v", name, err)
-		}
-		enc, err := encode.Encode(code, rm, testBase)
-		if err != nil {
-			t.Fatalf("%s: encode: %v", name, err)
-		}
-		dec, err := encode.Decode(enc.Bytes, testBase, len(code.Instrs))
-		if err != nil {
-			t.Fatalf("%s: decode: %v", name, err)
-		}
-		var entry []isa.Reg
-		for v := range w.Args {
-			entry = append(entry, rm.Reg(v))
-		}
-		rep := Verify(dec, &tgt, &Options{EntryDefined: entry})
-		if !rep.Clean() {
-			var b strings.Builder
-			rep.Write(&b)
-			t.Errorf("%s: %d diagnostics:\n%s", name, len(rep.Diags), b.String())
+	for _, tgt := range []config.Target{
+		config.ConfigA(), config.ConfigB(), config.ConfigC(), config.ConfigD(),
+	} {
+		for _, name := range workloads.Names() {
+			w, err := workloads.ByName(name, p)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			dec, opts, err := compileWorkload(t, w, tgt)
+			if err != nil {
+				if w.TM3270Only {
+					continue // super-op workloads do not schedule on earlier targets
+				}
+				t.Fatalf("%s on %s: schedule: %v", name, tgt.Name, err)
+			}
+			rep := Verify(dec, &tgt, opts)
+			if !rep.Clean() {
+				var b strings.Builder
+				rep.Write(&b)
+				t.Errorf("%s on %s: %d diagnostics:\n%s", name, tgt.Name, len(rep.Diags), b.String())
+			}
 		}
 	}
 }

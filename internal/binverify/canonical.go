@@ -1,0 +1,59 @@
+package binverify
+
+import "tm3270/internal/isa"
+
+// checkCanonical flags decoded slots whose unused encoding fields
+// deviate from the canonical all-zero form the encoder emits. The
+// hardware ignores these fields, so a corrupted image can differ from
+// the intended one without any architecturally visible effect — the
+// classic silent single-event-upset. Pinning the canonical form turns
+// every such flip into a static finding: a store's dest field, a nop's
+// operand fields, the immediate of a register-register op, or a shift
+// amount beyond the 5 bits the shifter consumes must all be zero (or,
+// for the shift, within 0..31).
+//
+// Extension halves are skipped — their fields are owned by the two-slot
+// main op and validated during extraction — as are undefined opcodes,
+// which already carry a CheckOpcode error.
+func (v *verifier) checkCanonical() {
+	for i := range v.dec {
+		for s, d := range v.dec[i].Slots {
+			if d == nil || d.IsExt() {
+				continue
+			}
+			oc := isa.Opcode(d.Opcode)
+			info, ok := isa.InfoOK(oc)
+			if !ok {
+				continue
+			}
+			if oc == isa.OpNOP {
+				if d.Guard != isa.R1 || d.S1 != 0 || d.S2 != 0 || d.D != 0 || d.Imm != 0 {
+					v.diag(i, s+1, info.Name, CheckEncoding, Warn,
+						"nop with non-canonical operand fields (guard %s, s1 %s, s2 %s, d %s, imm %#x)",
+						d.Guard, d.S1, d.S2, d.D, d.Imm)
+				}
+				continue
+			}
+			if info.NDest == 0 && d.D != 0 {
+				v.diag(i, s+1, info.Name, CheckEncoding, Warn,
+					"%s writes no register but its dest field holds %s", info.Name, d.D)
+			}
+			if info.NSrc < 1 && d.S1 != 0 {
+				v.diag(i, s+1, info.Name, CheckEncoding, Warn,
+					"%s reads no source but its src1 field holds %s", info.Name, d.S1)
+			}
+			if info.NSrc < 2 && d.S2 != 0 {
+				v.diag(i, s+1, info.Name, CheckEncoding, Warn,
+					"%s reads %d source(s) but its src2 field holds %s", info.Name, info.NSrc, d.S2)
+			}
+			if !info.HasImm && d.Imm != 0 {
+				v.diag(i, s+1, info.Name, CheckEncoding, Warn,
+					"%s takes no immediate but its imm field holds %#x", info.Name, d.Imm)
+			}
+			if info.Class == isa.UnitShifter && info.HasImm && d.Imm > 31 {
+				v.diag(i, s+1, info.Name, CheckEncoding, Warn,
+					"%s shift amount %d exceeds 31: the shifter consumes 5 bits", info.Name, d.Imm)
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package binverify
+
+// bitset is a fixed-capacity bit vector over instruction indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// intersect ands o into b, reporting whether b changed.
+func (b bitset) intersect(o bitset) bool {
+	changed := false
+	for i := range b {
+		if n := b[i] & o[i]; n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) fill() {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+}
+
+// buildPreds inverts the successor graph (exit pseudo-node excluded).
+func (v *verifier) buildPreds() {
+	n := len(v.dec)
+	v.preds = make([][]int, n)
+	for i := 0; i < n; i++ {
+		for _, s := range v.succ[i] {
+			if s < n {
+				v.preds[s] = append(v.preds[s], i)
+			}
+		}
+	}
+}
+
+// dominators computes, for every reachable node, the set of nodes that
+// dominate it (iterative dataflow over the instruction CFG; the streams
+// are small enough that the simple quadratic scheme is instant).
+func (v *verifier) dominators() {
+	n := len(v.dec)
+	v.dom = make([]bitset, n)
+	for i := 0; i < n; i++ {
+		if !v.reach[i] {
+			continue
+		}
+		v.dom[i] = newBitset(n)
+		if i == 0 {
+			v.dom[i].set(0)
+		} else {
+			v.dom[i].fill()
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 1; i < n; i++ {
+			if !v.reach[i] {
+				continue
+			}
+			cur := newBitset(n)
+			first := true
+			for _, p := range v.preds[i] {
+				if !v.reach[p] {
+					continue
+				}
+				if first {
+					copy(cur, v.dom[p])
+					first = false
+				} else {
+					cur.intersect(v.dom[p])
+				}
+			}
+			if first {
+				// Reachable with no reachable predecessor only happens for
+				// the entry, handled above; keep the full set otherwise.
+				continue
+			}
+			cur.set(i)
+			if !bitsetEqual(cur, v.dom[i]) {
+				v.dom[i] = cur
+				changed = true
+			}
+		}
+	}
+}
+
+func bitsetEqual(a, b bitset) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dominates reports whether h dominates u (both reachable).
+func (v *verifier) dominates(h, u int) bool {
+	return v.dom[u] != nil && v.dom[u].has(h)
+}

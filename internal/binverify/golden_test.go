@@ -1,0 +1,153 @@
+package binverify
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tm3270/internal/config"
+	"tm3270/internal/encode"
+	"tm3270/internal/isa"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden diagnostic renderings")
+
+// withDest returns the op with its (unused) dest field set, for the
+// canonical-encoding scenario.
+func withDest(d *encode.DecOp, dest isa.Reg) *encode.DecOp {
+	d.D = dest
+	return d
+}
+
+// TestDiagGolden pins the exact one-line rendering of every check kind
+// and the deterministic report ordering (instruction index, then slot,
+// then check name). The golden file is the compatibility contract for
+// everything that scrapes tm3270lint output; rerun with -update after
+// deliberate wording changes.
+func TestDiagGolden(t *testing.T) {
+	t60, t70 := config.TM3260(), config.TM3270()
+	semantic := func(vals map[isa.Reg]uint32) *Options {
+		return &Options{EntryValues: vals}
+	}
+	scenarios := []struct {
+		name string
+		tgt  *config.Target
+		dec  []encode.DecInstr
+		opts *Options
+	}{
+		{"opcode", &t70, stream(
+			[5]*encode.DecOp{{Opcode: 0x7fff, Guard: isa.R1}},
+		), nil},
+		{"pair", &t70, stream(
+			[5]*encode.DecOp{ext(r2, r3, r10)},
+		), nil},
+		{"encoding", &t70, stream(
+			[5]*encode.DecOp{
+				{Opcode: uint16(isa.OpIADD), Guard: isa.R1, S1: r2, S2: r3, D: r10, Imm: 8},
+				{Opcode: uint16(isa.OpNOP), Guard: r4},
+				nil,
+				withDest(st32(isa.R1, r2, 0, r3), r11)},
+			[5]*encode.DecOp{
+				{Opcode: uint16(isa.OpLSRI), Guard: isa.R1, S1: r2, D: r12, Imm: 0x90}},
+		), nil},
+		{"slot", &t70, stream(
+			[5]*encode.DecOp{nil, nil, op(isa.OpASL, isa.R1, r2, r3, r10)},
+		), nil},
+		{"unsupported", &t60, stream(
+			[5]*encode.DecOp{nil, op(isa.OpSUPERDUALIMIX, isa.R1, r2, r3, r10), ext(r4, r5, r11)},
+		), nil},
+		{"load-issue", &t70, stream(
+			[5]*encode.DecOp{nil, nil, nil,
+				op(isa.OpLD32D, isa.R1, r2, 0, r10),
+				op(isa.OpLD32D, isa.R1, r3, 0, r11)},
+		), nil},
+		{"hardwired", &t70, stream(
+			[5]*encode.DecOp{op(isa.OpIADD, isa.R1, r2, r3, isa.R0)},
+		), nil},
+		{"latency", &t70, stream(
+			[5]*encode.DecOp{nil, op(isa.OpIMUL, isa.R1, r2, r3, r10)},
+			[5]*encode.DecOp{op(isa.OpIADD, isa.R1, r10, r2, r11)},
+		), nil},
+		{"waw", &t70, stream(
+			[5]*encode.DecOp{
+				op(isa.OpIADD, isa.R1, r2, r2, r10),
+				op(isa.OpISUB, isa.R1, r3, r2, r10)},
+		), nil},
+		{"wb-ports", &t70, stream(
+			[5]*encode.DecOp{nil, op(isa.OpIMUL, isa.R1, r2, r3, r10), op(isa.OpIMUL, isa.R1, r2, r3, r11)},
+			[5]*encode.DecOp{op(isa.OpDSPIADD, isa.R1, r2, r3, r12), nil, op(isa.OpDSPIADD, isa.R1, r2, r3, r13)},
+			[5]*encode.DecOp{op(isa.OpIADD, isa.R1, r2, r3, r14), op(isa.OpIADD, isa.R1, r2, r3, r15)},
+		), nil},
+		{"jump-target", &t60, stream(
+			[5]*encode.DecOp{nil, jmp(isa.OpJMPI, isa.R1, addrOf(1)+5)},
+			[5]*encode.DecOp{}, [5]*encode.DecOp{}, [5]*encode.DecOp{}, [5]*encode.DecOp{},
+		), nil},
+		{"delay-window", &t60, stream(
+			[5]*encode.DecOp{nil, jmp(isa.OpJMPI, isa.R1, addrOf(6))},
+			[5]*encode.DecOp{nil, jmp(isa.OpJMPI, isa.R1, addrOf(6))},
+			[5]*encode.DecOp{}, [5]*encode.DecOp{}, [5]*encode.DecOp{},
+			[5]*encode.DecOp{}, [5]*encode.DecOp{},
+		), nil},
+		{"uninit", &t70, stream(
+			[5]*encode.DecOp{op(isa.OpIADD, isa.R1, r2, r3, r10)},
+		), &Options{EntryDefined: []isa.Reg{r2}}},
+		{"unreachable", &t60, stream(
+			[5]*encode.DecOp{nil, jmp(isa.OpJMPI, isa.R1, addrOf(5))},
+			[5]*encode.DecOp{}, [5]*encode.DecOp{}, [5]*encode.DecOp{},
+			[5]*encode.DecOp{op(isa.OpIADD, isa.R1, r2, r2, r10)},
+			[5]*encode.DecOp{},
+		), nil},
+		{"mem-range", &t70, stream(
+			[5]*encode.DecOp{nil, nil, nil, st32(isa.R1, r2, 0, r3)},
+		), &Options{
+			EntryValues: map[isa.Reg]uint32{r2: 0x100, r3: 7},
+			MemMap:      buf(0x1000, 0x2000),
+		}},
+		{"dead-guard", &t70, stream(
+			[5]*encode.DecOp{op(isa.OpIADD, r4, r2, r2, r10)},
+		), semantic(map[isa.Reg]uint32{r4: 0, r2: 1})},
+		{"loop-bound", &t60, unboundedLoop(),
+			semantic(map[isa.Reg]uint32{r2: 1})},
+		// Three findings across two instructions and three slots: pins
+		// the index-then-slot-then-check report ordering.
+		{"ordering", &t70, stream(
+			[5]*encode.DecOp{
+				op(isa.OpIADD, isa.R1, r2, r3, isa.R0),
+				op(isa.OpIMUL, isa.R1, r2, r3, r10),
+				op(isa.OpASL, isa.R1, r2, r3, r11)},
+			[5]*encode.DecOp{op(isa.OpIADD, isa.R1, r10, r2, r12)},
+		), nil},
+	}
+
+	var b strings.Builder
+	for _, sc := range scenarios {
+		rep := Verify(sc.dec, sc.tgt, sc.opts)
+		if rep.Clean() {
+			t.Errorf("%s: scenario produced no diagnostics", sc.name)
+			continue
+		}
+		fmt.Fprintf(&b, "== %s\n", sc.name)
+		rep.Write(&b)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "diags.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (rerun with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostic renderings changed (rerun with -update if deliberate)\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

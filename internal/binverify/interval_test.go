@@ -1,0 +1,256 @@
+package binverify
+
+import (
+	"testing"
+
+	"tm3270/internal/isa"
+)
+
+func TestIntervalValidity(t *testing.T) {
+	cases := []struct {
+		iv   interval
+		want bool
+	}{
+		{interval{0, 0}, true},
+		{interval{-5, 5}, true},
+		{interval{5, -5}, false},                  // empty
+		{interval{0, ivMaxWidth}, false},          // full wrap
+		{interval{ivMaxMag, ivMaxMag + 1}, false}, // beyond the magnitude guard
+		{interval{-ivMaxMag - 1, -ivMaxMag}, false},
+	}
+	for _, c := range cases {
+		if got := c.iv.valid(); got != c.want {
+			t.Errorf("valid(%+v) = %v, want %v", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestIntervalWindows(t *testing.T) {
+	if (interval{-1, 0}).unsignedOK() {
+		t.Error("negative interval passed the unsigned window")
+	}
+	if !(interval{0, 1<<32 - 1}).unsignedOK() {
+		t.Error("full unsigned range rejected")
+	}
+	if (interval{1 << 31, 1 << 31}).signedOK() {
+		t.Error("2^31 passed the signed window")
+	}
+	if !(interval{-(1 << 31), 1<<31 - 1}).signedOK() {
+		t.Error("full signed range rejected")
+	}
+}
+
+func TestIntervalArith(t *testing.T) {
+	a, b := interval{1, 3}, interval{10, 20}
+	if got := a.add(b); got != (interval{11, 23}) {
+		t.Errorf("add = %+v", got)
+	}
+	if got := a.sub(b); got != (interval{-19, -7}) {
+		t.Errorf("sub = %+v", got)
+	}
+	if got := hull(a, b); got != (interval{1, 20}) {
+		t.Errorf("hull = %+v", got)
+	}
+	if got, ok := (interval{-3, 2}).mul(interval{-5, 4}); !ok || got != (interval{-12, 15}) {
+		t.Errorf("mul = %+v, %v", got, ok)
+	}
+	if _, ok := (interval{1 << 46, 1 << 46}).mul(interval{2, 2}); ok {
+		t.Error("mul accepted operands beyond the magnitude pre-check")
+	}
+	if ivSext(0xffffffff) != (interval{-1, -1}) {
+		t.Error("ivSext did not sign-extend")
+	}
+	if ivConst(7) != (interval{7, 7}) {
+		t.Error("ivConst not a singleton")
+	}
+}
+
+func TestContainsZeroPattern(t *testing.T) {
+	cases := []struct {
+		iv   interval
+		want bool
+	}{
+		{interval{0, 0}, true},
+		{interval{1, 100}, false},
+		{interval{-3, 4}, true},
+		{interval{-7, -1}, false},
+		{interval{ivMaxWidth - 2, ivMaxWidth + 1}, true}, // spans a 2^32 multiple
+		{interval{5, 2}, true},                           // invalid: conservatively yes
+	}
+	for _, c := range cases {
+		if got := c.iv.containsZeroPattern(); got != c.want {
+			t.Errorf("containsZeroPattern(%+v) = %v, want %v", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestCmpKindAlgebra(t *testing.T) {
+	pairs := map[cmpKind]cmpKind{
+		cmpGT: cmpLE, cmpGE: cmpLT, cmpLT: cmpGE,
+		cmpLE: cmpGT, cmpEQ: cmpNE, cmpNE: cmpEQ,
+	}
+	for k, n := range pairs {
+		if k.negate() != n {
+			t.Errorf("negate(%v) = %v, want %v", k, k.negate(), n)
+		}
+		if k.negate().negate() != k {
+			t.Errorf("negate not an involution for %v", k)
+		}
+	}
+	if cmpNone.negate() != cmpNone {
+		t.Error("negate(cmpNone) changed")
+	}
+	flips := map[cmpKind]cmpKind{
+		cmpGT: cmpLT, cmpGE: cmpLE, cmpLT: cmpGT, cmpLE: cmpGE,
+		cmpEQ: cmpEQ, cmpNE: cmpNE, cmpNone: cmpNone,
+	}
+	for k, f := range flips {
+		if k.flip() != f {
+			t.Errorf("flip(%v) = %v, want %v", k, k.flip(), f)
+		}
+	}
+	for k, s := range map[cmpKind]string{cmpNone: "?", cmpGT: ">", cmpLE: "<="} {
+		if k.String() != s {
+			t.Errorf("String(%d) = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestCmpOpcode(t *testing.T) {
+	cases := []struct {
+		oc       isa.Opcode
+		k        cmpKind
+		unsigned bool
+		immForm  bool
+	}{
+		{isa.OpIGTR, cmpGT, false, false},
+		{isa.OpIGEQ, cmpGE, false, false},
+		{isa.OpILES, cmpLT, false, false},
+		{isa.OpILEQ, cmpLE, false, false},
+		{isa.OpIEQL, cmpEQ, false, false},
+		{isa.OpINEQ, cmpNE, false, false},
+		{isa.OpUGTR, cmpGT, true, false},
+		{isa.OpUGEQ, cmpGE, true, false},
+		{isa.OpULES, cmpLT, true, false},
+		{isa.OpULEQ, cmpLE, true, false},
+		{isa.OpIGTRI, cmpGT, false, true},
+		{isa.OpILESI, cmpLT, false, true},
+		{isa.OpIEQLI, cmpEQ, false, true},
+		{isa.OpINEQI, cmpNE, false, true},
+		{isa.OpIADD, cmpNone, false, false},
+	}
+	for _, c := range cases {
+		k, u, i := cmpOpcode(c.oc)
+		if k != c.k || u != c.unsigned || i != c.immForm {
+			t.Errorf("cmpOpcode(%v) = %v,%v,%v, want %v,%v,%v",
+				c.oc, k, u, i, c.k, c.unsigned, c.immForm)
+		}
+	}
+}
+
+func TestEvalCmp(t *testing.T) {
+	iv := func(lo, hi int64) interval { return interval{lo, hi} }
+	cases := []struct {
+		name     string
+		k        cmpKind
+		unsigned bool
+		a, b     interval
+		bit      int64
+		known    bool
+	}{
+		{"gt-true", cmpGT, false, iv(5, 9), iv(1, 4), 1, true},
+		{"gt-false", cmpGT, false, iv(1, 4), iv(4, 9), 0, true},
+		{"gt-unknown", cmpGT, false, iv(1, 5), iv(4, 9), 0, false},
+		{"ge-true", cmpGE, false, iv(4, 9), iv(1, 4), 1, true},
+		{"ge-false", cmpGE, false, iv(1, 3), iv(4, 9), 0, true},
+		{"lt-true", cmpLT, false, iv(1, 3), iv(4, 9), 1, true},
+		{"lt-false", cmpLT, false, iv(4, 9), iv(1, 4), 0, true},
+		{"le-true", cmpLE, false, iv(1, 4), iv(4, 9), 1, true},
+		{"le-false", cmpLE, false, iv(5, 9), iv(1, 4), 0, true},
+		{"eq-true", cmpEQ, false, iv(4, 4), iv(4, 4), 1, true},
+		{"eq-false", cmpEQ, false, iv(1, 3), iv(4, 9), 0, true},
+		{"eq-unknown", cmpEQ, false, iv(1, 4), iv(4, 9), 0, false},
+		{"ne-true", cmpNE, false, iv(1, 3), iv(4, 9), 1, true},
+		{"ne-false", cmpNE, false, iv(4, 4), iv(4, 4), 0, true},
+		{"signed-window", cmpGT, false, iv(1<<31, 1<<31), iv(0, 0), 0, false},
+		{"unsigned-window", cmpGT, true, iv(-1, -1), iv(0, 0), 0, false},
+		{"unsigned-ok", cmpGT, true, iv(1<<31, 1<<31), iv(0, 0), 1, true},
+		{"none", cmpNone, false, iv(0, 0), iv(0, 0), 0, false},
+	}
+	for _, c := range cases {
+		bit, known := evalCmp(c.k, c.unsigned, c.a, c.b)
+		if bit != c.bit || known != c.known {
+			t.Errorf("%s: evalCmp = %d,%v, want %d,%v", c.name, bit, known, c.bit, c.known)
+		}
+	}
+}
+
+func TestByteRange(t *testing.T) {
+	cases := []struct {
+		name   string
+		a      interval
+		aok    bool
+		lo, hi int64
+		want   interval
+	}{
+		{"sex8-const", ivConst(0xff), true, -128, 127, interval{-1, -1}},
+		{"sex16-const", ivConst(0x8000), true, -32768, 32767, interval{-32768, -32768}},
+		{"zex8-const", ivConst(0x1ff), true, 0, 255, interval{0xff, 0xff}},
+		{"zex16-const", ivConst(0x1ffff), true, 0, 65535, interval{0xffff, 0xffff}},
+		{"top-operand", interval{}, false, -128, 127, interval{-128, 127}},
+		{"wide-operand", interval{0, 9}, true, 0, 255, interval{0, 255}},
+	}
+	for _, c := range cases {
+		if got := byteRange(c.a, c.aok, c.lo, c.hi); got != c.want {
+			t.Errorf("%s: byteRange = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	for v, want := range map[uint64]uint64{0: 1, 1: 2, 2: 4, 3: 4, 255: 256, 256: 512} {
+		if got := ceilPow2(v); got != want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestTripCount(t *testing.T) {
+	iv := func(lo, hi int64) interval { return interval{lo, hi} }
+	cases := []struct {
+		name     string
+		rel      cmpKind
+		unsigned bool
+		entry    interval
+		limit    interval
+		step     int64
+		bound    int64
+		ok       bool
+	}{
+		// for (i = 0; i < 16; i++): 16 continues + the failing test.
+		{"lt-up", cmpLT, false, iv(0, 0), iv(16, 16), 1, 17, true},
+		{"le-up", cmpLE, false, iv(0, 0), iv(16, 16), 1, 18, true},
+		{"gt-down", cmpGT, false, iv(16, 16), iv(0, 0), -1, 17, true},
+		{"ge-down", cmpGE, false, iv(16, 16), iv(0, 0), -1, 18, true},
+		{"lt-wrong-dir", cmpLT, false, iv(0, 0), iv(16, 16), -1, 0, false},
+		{"le-wrong-dir", cmpLE, false, iv(0, 0), iv(16, 16), -1, 0, false},
+		{"gt-wrong-dir", cmpGT, false, iv(16, 16), iv(0, 0), 1, 0, false},
+		{"ge-wrong-dir", cmpGE, false, iv(16, 16), iv(0, 0), 1, 0, false},
+		// Entry already past the limit: the failing test runs once.
+		{"lt-exhausted", cmpLT, false, iv(20, 20), iv(16, 16), 1, 1, true},
+		{"gt-exhausted", cmpGT, false, iv(0, 0), iv(16, 16), -1, 1, true},
+		{"ge-exhausted", cmpGE, false, iv(0, 0), iv(16, 16), -1, 1, true},
+		{"le-exhausted", cmpLE, false, iv(20, 20), iv(16, 16), 1, 1, true},
+		{"eq-unsupported", cmpEQ, false, iv(0, 0), iv(16, 16), 1, 0, false},
+		{"none-unsupported", cmpNone, false, iv(0, 0), iv(16, 16), 1, 0, false},
+		// Stepping a signed counter past 2^31 leaves the window.
+		{"window-escape", cmpLT, false, iv(0, 0), iv(1<<31-1, 1<<31-1), 1, 0, false},
+		{"unsigned-up", cmpLT, true, iv(0, 0), iv(1<<31, 1<<31), 1 << 28, 9, true},
+	}
+	for _, c := range cases {
+		bound, ok := tripCount(c.rel, c.unsigned, c.entry, c.limit, c.step)
+		if bound != c.bound || ok != c.ok {
+			t.Errorf("%s: tripCount = %d,%v, want %d,%v", c.name, bound, ok, c.bound, c.ok)
+		}
+	}
+}

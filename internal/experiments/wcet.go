@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"tm3270/internal/config"
+	"tm3270/internal/runner"
+	"tm3270/internal/workloads"
+)
+
+// WCETTable reports the static worst-case cycle bound of every workload
+// against the cycles tmsim measures, per target configuration. The
+// ratio column (bound/measured) is the tightness of the static model;
+// soundness (bound >= measured) is enforced by a test, this table shows
+// how much headroom the proofs leave.
+func WCETTable(w io.Writer, p workloads.Params) error {
+	targets := []config.Target{
+		config.ConfigA(), config.ConfigB(), config.ConfigC(), config.ConfigD(),
+	}
+	fmt.Fprintf(w, "Static worst-case cycle bounds vs measured cycles\n")
+	fmt.Fprintf(w, "%-14s %-8s %14s %14s %7s  %s\n",
+		"workload", "target", "bound", "measured", "ratio", "loops (bound@source)")
+	for _, name := range workloads.Names() {
+		for _, tgt := range targets {
+			spec, err := workloads.ByName(name, p)
+			if err != nil {
+				return err
+			}
+			if spec.TM3270Only && !tgt.HasRegionPrefetch {
+				continue
+			}
+			art, err := runner.CompileWorkload(spec, tgt)
+			var serr *runner.ScheduleError
+			if errors.As(err, &serr) {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			cb, err := art.CycleBound(&tgt, art.VerifyOptions(spec))
+			if err != nil {
+				return err
+			}
+			short := shortTarget(tgt)
+			if !cb.Bounded {
+				fmt.Fprintf(w, "%-14s %-8s %14s %14s %7s  %v\n",
+					name, short, "unbounded", "-", "-", cb.Notes)
+				continue
+			}
+			res, err := runner.RunContext(context.Background(), spec, tgt,
+				runner.WithArtifact(art))
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", name, tgt.Name, err)
+			}
+			meas := int64(res.Stats.Cycles)
+			loops := ""
+			for i, l := range cb.Loops {
+				if i > 0 {
+					loops += " "
+				}
+				loops += fmt.Sprintf("%d@%s", l.Bound, l.Source)
+			}
+			fmt.Fprintf(w, "%-14s %-8s %14d %14d %7.2f  %s\n",
+				name, short, cb.Cycles, meas, float64(cb.Cycles)/float64(meas), loops)
+		}
+	}
+	return nil
+}
+
+func shortTarget(t config.Target) string {
+	switch t.Name {
+	case config.ConfigA().Name:
+		return "A"
+	case config.ConfigB().Name:
+		return "B"
+	case config.ConfigC().Name:
+		return "C"
+	default:
+		return "D"
+	}
+}

@@ -134,11 +134,22 @@ func diffOne(name string, cfg StaticConfig) (*DiffRow, error) {
 	if err != nil {
 		return nil, fmt.Errorf("baseline decode: %w", err)
 	}
-	var entry []isa.Reg
-	for v := range w.Args {
-		entry = append(entry, rm.Reg(v))
+	// Mirror the static campaign's full semantic options exactly: the
+	// differential pass only examines the static verifier's leftovers,
+	// so the two classifications must be byte-identical.
+	opts := &binverify.Options{EntryValues: map[isa.Reg]uint32{}, MemMap: w.Regions}
+	for v, val := range w.Args {
+		opts.EntryDefined = append(opts.EntryDefined, rm.Reg(v))
+		opts.EntryValues[rm.Reg(v)] = val
 	}
-	opts := &binverify.Options{EntryDefined: entry}
+	if len(w.Prog.LoopBounds) > 0 {
+		opts.LoopBounds = map[uint32]int{}
+		for label, bound := range w.Prog.LoopBounds {
+			if idx, ok := code.Labels[label]; ok {
+				opts.LoopBounds[enc.Addr[idx]] = bound
+			}
+		}
+	}
 	if rep := binverify.Verify(baseline, cfg.Target, opts); !rep.Clean() {
 		return nil, fmt.Errorf("baseline image is not verifier-clean (%d diagnostics)", len(rep.Diags))
 	}

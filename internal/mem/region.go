@@ -1,0 +1,21 @@
+package mem
+
+import "fmt"
+
+// Region is one named address range [Lo, Hi) of a workload's declared
+// memory map: an input buffer, an output buffer, a table, or an MMIO
+// window. The static verifier (internal/binverify) proves load/store
+// addresses in-bounds against the union of a workload's regions; the
+// declaration is part of the kernel's contract, alongside its argument
+// registers.
+type Region struct {
+	Name   string
+	Lo, Hi uint32 // byte addresses, half-open [Lo, Hi)
+}
+
+// Contains reports whether the address lies inside the region.
+func (r Region) Contains(addr uint32) bool { return addr >= r.Lo && addr < r.Hi }
+
+func (r Region) String() string {
+	return fmt.Sprintf("%s[%#x,%#x)", r.Name, r.Lo, r.Hi)
+}

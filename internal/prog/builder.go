@@ -43,6 +43,17 @@ func (b *Builder) Regs(n int) []VReg {
 	return rs
 }
 
+// LoopBound annotates the labeled block as a loop header entered at
+// most n times per run. Use it when binverify's bound inference cannot
+// derive a trip count from the code (data-dependent exits, non-constant
+// steps); inferable loops need no annotation.
+func (b *Builder) LoopBound(label string, n int) {
+	if b.prog.LoopBounds == nil {
+		b.prog.LoopBounds = map[string]int{}
+	}
+	b.prog.LoopBounds[label] = n
+}
+
 // Label starts a new basic block with the given label.
 func (b *Builder) Label(name string) {
 	if b.cur.Label == "" && len(b.cur.Ops) == 0 {

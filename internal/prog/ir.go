@@ -104,6 +104,13 @@ type Program struct {
 	Blocks []*Block
 	// NumVRegs is one past the highest virtual register in use.
 	NumVRegs int
+	// LoopBounds maps a labeled loop-header block to the maximum number
+	// of times control may enter it per kernel run: the escape hatch for
+	// loops whose trip count the static analyzer (internal/binverify)
+	// cannot infer from the code itself. The bound is a promise by the
+	// kernel writer; the whole-program worst-case cycle bound is only
+	// as trustworthy as these annotations.
+	LoopBounds map[string]int
 }
 
 // BlockIndex returns the index of the block with the given label.
@@ -150,6 +157,14 @@ func (p *Program) Validate() error {
 				return fmt.Errorf("%s: duplicate label %q", p.Name, b.Label)
 			}
 			labels[b.Label] = true
+		}
+	}
+	for label, bound := range p.LoopBounds {
+		if !labels[label] {
+			return fmt.Errorf("%s: loop bound on undefined label %q", p.Name, label)
+		}
+		if bound <= 0 {
+			return fmt.Errorf("%s: loop bound on %q must be positive, got %d", p.Name, label, bound)
 		}
 	}
 	check := func(v VReg, what string, op *Op) error {

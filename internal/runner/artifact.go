@@ -87,20 +87,63 @@ func (a *Artifact) EntryRegs(args map[prog.VReg]uint32) []isa.Reg {
 	return entry
 }
 
+// VerifyOptions builds the full static-verification options for a
+// workload: the entry-defined registers and their concrete argument
+// values (mapped through the allocation), the workload's declared
+// memory map, and any loop-bound annotations resolved from source
+// labels to encoded instruction addresses.
+func (a *Artifact) VerifyOptions(w *workloads.Spec) *binverify.Options {
+	opts := &binverify.Options{
+		EntryDefined: a.EntryRegs(w.Args),
+		EntryValues:  map[isa.Reg]uint32{},
+		MemMap:       w.Regions,
+	}
+	for v, val := range w.Args {
+		opts.EntryValues[a.RegMap.Reg(v)] = val
+	}
+	if len(w.Prog.LoopBounds) > 0 {
+		opts.LoopBounds = map[uint32]int{}
+		for label, n := range w.Prog.LoopBounds {
+			if idx, ok := a.Code.Labels[label]; ok {
+				opts.LoopBounds[a.Enc.Addr[idx]] = n
+			}
+		}
+	}
+	return opts
+}
+
 // VerifyStatic decodes the encoded image back and runs the
 // whole-program static verifier over the machine code a simulator
 // would execute. The report carries every diagnostic; the error is
 // non-nil when the image does not decode or any error-severity
 // diagnostic fired.
-func (a *Artifact) VerifyStatic(t *config.Target, entry []isa.Reg) (*binverify.Report, error) {
-	dec, err := encode.Decode(a.Enc.Bytes, tmsim.CodeBase, len(a.Code.Instrs))
+func (a *Artifact) VerifyStatic(t *config.Target, opts *binverify.Options) (*binverify.Report, error) {
+	dec, err := a.decode()
 	if err != nil {
-		return nil, fmt.Errorf("verify: image does not decode: %w", err)
+		return nil, err
 	}
-	rep := binverify.Verify(dec, t, &binverify.Options{EntryDefined: entry})
+	rep := binverify.Verify(dec, t, opts)
 	if rep.Errors() > 0 {
 		return rep, fmt.Errorf("verify: %d error(s), %d warning(s)",
 			rep.Errors(), rep.Warnings())
 	}
 	return rep, nil
+}
+
+// CycleBound decodes the encoded image and computes its static
+// worst-case cycle bound on the target.
+func (a *Artifact) CycleBound(t *config.Target, opts *binverify.Options) (*binverify.CycleBound, error) {
+	dec, err := a.decode()
+	if err != nil {
+		return nil, err
+	}
+	return binverify.WCET(dec, t, opts), nil
+}
+
+func (a *Artifact) decode() ([]encode.DecInstr, error) {
+	dec, err := encode.Decode(a.Enc.Bytes, tmsim.CodeBase, len(a.Code.Instrs))
+	if err != nil {
+		return nil, fmt.Errorf("verify: image does not decode: %w", err)
+	}
+	return dec, nil
 }

@@ -1,0 +1,83 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"tm3270/internal/config"
+	"tm3270/internal/workloads"
+)
+
+// TestCompileScheduleError pins the typed scheduling failure: a
+// TM3270-only workload compiled for a TM3260-class target must surface
+// a ScheduleError that callers can detect with errors.As.
+func TestCompileScheduleError(t *testing.T) {
+	w, err := workloads.ByName("cabac_opt_i", workloads.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = CompileWorkload(w, config.ConfigA())
+	var serr *ScheduleError
+	if !errors.As(err, &serr) {
+		t.Fatalf("err = %v, want a ScheduleError", err)
+	}
+	if !strings.HasPrefix(serr.Error(), "schedule: ") {
+		t.Errorf("Error() = %q, want a schedule: prefix", serr.Error())
+	}
+	if serr.Unwrap() == nil {
+		t.Error("Unwrap() = nil, want the scheduler's error")
+	}
+}
+
+// TestVerifyOptionsResolvesLoopBounds checks the label-to-address
+// resolution of loop-bound annotations: a source-level label maps to
+// its encoded header address. (Unknown labels never get this far — the
+// scheduler rejects them.)
+func TestVerifyOptionsResolvesLoopBounds(t *testing.T) {
+	w, err := workloads.ByName("memset", workloads.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Prog.LoopBounds = map[string]int{"loop": 12345}
+	art, err := CompileWorkload(w, config.ConfigD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := art.VerifyOptions(w)
+	if len(opts.EntryValues) != len(w.Args) || len(opts.EntryDefined) != len(w.Args) {
+		t.Errorf("entry values/defined = %d/%d, want %d of each",
+			len(opts.EntryValues), len(opts.EntryDefined), len(w.Args))
+	}
+	if len(opts.MemMap) != len(w.Regions) {
+		t.Errorf("MemMap has %d regions, want %d", len(opts.MemMap), len(w.Regions))
+	}
+	if len(opts.LoopBounds) != 1 {
+		t.Fatalf("LoopBounds = %v, want exactly the resolvable label", opts.LoopBounds)
+	}
+	idx := art.Code.Labels["loop"]
+	if n, ok := opts.LoopBounds[art.Enc.Addr[idx]]; !ok || n != 12345 {
+		t.Errorf("LoopBounds = %v, want 12345 at the loop header address", opts.LoopBounds)
+	}
+}
+
+// TestResultDerivedMetrics covers the wall-clock and power-model views
+// of a run result.
+func TestResultDerivedMetrics(t *testing.T) {
+	w, err := workloads.ByName("memset", workloads.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunContext(context.Background(), w, config.ConfigD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Seconds(); s <= 0 {
+		t.Errorf("Seconds() = %v, want positive", s)
+	}
+	a := res.Activity()
+	if a.Utilization <= 0 || a.OPI <= 0 {
+		t.Errorf("Activity() = %+v, want a populated operating point", a)
+	}
+}

@@ -160,7 +160,7 @@ func RunContext(ctx context.Context, w *workloads.Spec, t config.Target, opts ..
 		}
 	}
 	if o.Verify {
-		if _, err := art.VerifyStatic(&t, art.EntryRegs(w.Args)); err != nil {
+		if _, err := art.VerifyStatic(&t, art.VerifyOptions(w)); err != nil {
 			return nil, fmt.Errorf("%s on %s: %w", w.Name, t.Name, err)
 		}
 	}

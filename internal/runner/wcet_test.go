@@ -1,0 +1,63 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tm3270/internal/config"
+	"tm3270/internal/workloads"
+)
+
+// TestCycleBoundCoversMeasured is the soundness gate of the static WCET
+// analysis: for every workload on every target configuration, the
+// static cycle bound must be bounded at all and must dominate the
+// cycle count tmsim measures for the same binary.
+func TestCycleBoundCoversMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates every workload on every target")
+	}
+	p := workloads.Small()
+	for _, tgt := range []config.Target{
+		config.ConfigA(), config.ConfigB(), config.ConfigC(), config.ConfigD(),
+	} {
+		tgt := tgt
+		t.Run(tgt.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, name := range workloads.Names() {
+				w, err := workloads.ByName(name, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if w.TM3270Only && !tgt.HasRegionPrefetch {
+					continue // prefetch workloads trap on a TM3260
+				}
+				art, err := CompileWorkload(w, tgt)
+				var serr *ScheduleError
+				if errors.As(err, &serr) {
+					continue // TM3270-only workload on an earlier target
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				cb, err := art.CycleBound(&tgt, art.VerifyOptions(w))
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if !cb.Bounded {
+					t.Errorf("%s on %s: unbounded: %v", name, tgt.Name, cb.Notes)
+					continue
+				}
+				res, err := RunContext(context.Background(), w, tgt, WithArtifact(art))
+				if err != nil {
+					t.Fatalf("%s on %s: %v", name, tgt.Name, err)
+				}
+				meas := int64(res.Stats.Cycles)
+				if cb.Cycles < meas {
+					t.Errorf("%s on %s: static bound %d < measured %d",
+						name, tgt.Name, cb.Cycles, meas)
+				}
+			}
+		})
+	}
+}

@@ -68,6 +68,9 @@ type Code struct {
 	Labels map[string]int
 	// BlockStart[i] is the first instruction index of source block i.
 	BlockStart []int
+	// LoopBounds carries the source program's loop-bound annotations
+	// (label -> max header entries) through to the binary verifier.
+	LoopBounds map[string]int
 
 	// SrcOps is the number of source operations scheduled (excluding
 	// padding); PadInstrs counts fully-empty padding instructions.
@@ -92,7 +95,7 @@ func Schedule(p *prog.Program, t config.Target) (*Code, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: %w", err)
 	}
-	c := &Code{Name: p.Name, Target: t, Labels: make(map[string]int)}
+	c := &Code{Name: p.Name, Target: t, Labels: make(map[string]int), LoopBounds: p.LoopBounds}
 	for _, b := range p.Blocks {
 		start := len(c.Instrs)
 		c.BlockStart = append(c.BlockStart, start)

@@ -132,7 +132,9 @@ type Server struct {
 	nextReq atomic.Int64
 	start   time.Time
 
-	rootCtx    context.Context
+	// The server's own lifetime, not a request's: every session context
+	// derives from it so Close cancels the whole tree.
+	rootCtx    context.Context //tmvet:allow
 	rootCancel context.CancelFunc
 
 	mu       sync.Mutex

@@ -162,7 +162,9 @@ type Session struct {
 	params     workloads.Params
 	target     config.Target
 
-	ctx    context.Context
+	// The session's lifetime (see the type comment), not a request
+	// context: runs derive from it so DELETE/drain aborts them.
+	ctx    context.Context //tmvet:allow
 	cancel context.CancelFunc
 
 	mu       sync.Mutex

@@ -84,6 +84,10 @@ func BlockWalk(p Params, pf bool) *Spec {
 		Prog:        pr,
 		TM3270Only:  pf,
 		Args:        map[prog.VReg]uint32{imgPtr: walkImgBase, resPtr: walkResBase},
+		Regions: appendMMIO(pf, []mem.Region{
+			region("img", walkImgBase, w*h),
+			region("result", walkResBase, 4),
+		}),
 		Init: func(m *mem.Func) error {
 			video.FillTestPattern(m, video.NewFrame(walkImgBase, w, h), 55)
 			return nil

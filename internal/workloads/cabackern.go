@@ -231,8 +231,9 @@ func CABACRef(f FieldType) *Spec {
 			lpsBase: lpsTabBase, mpsnB: mpsNextBase, lpsnB: lpsNextBase,
 			ctxB: cabCtxBase, maintB: cabMaint, n: uint32(d.nBins),
 		},
-		Init:  func(m *mem.Func) error { f.install(m, d); return nil },
-		Check: cabacCheck(d),
+		Init:    func(m *mem.Func) error { f.install(m, d); return nil },
+		Regions: cabacRegions(f, d),
+		Check:   cabacCheck(d),
 	}
 }
 
@@ -305,8 +306,26 @@ func CABACOpt(f FieldType) *Spec {
 			streamPtr: cabStream, seqPtr: cabSeqBase, bitsPtr: cabBitsBase,
 			ctxB: cabCtxBase, maintB: cabMaint, n: uint32(d.nBins),
 		},
-		Init:  func(m *mem.Func) error { f.install(m, d); return nil },
-		Check: cabacCheck(d),
+		Init:    func(m *mem.Func) error { f.install(m, d); return nil },
+		Regions: cabacRegions(f, d),
+		Check:   cabacCheck(d),
+	}
+}
+
+// cabacRegions is the decoder's memory map: the probability tables, the
+// context table, the encoded stream (the refill reads whole words, so
+// round up), the context-index sequence, the decoded bins and the
+// maintenance counters.
+func cabacRegions(f FieldType, d *cabacData) []mem.Region {
+	return []mem.Region{
+		region("lps-table", lpsTabBase, 256),
+		region("mps-next", mpsNextBase, 64),
+		region("lps-next", lpsNextBase, 64),
+		region("contexts", cabCtxBase, 4*f.NCtx),
+		region("stream", cabStream, (len(d.stream)+7)&^3),
+		region("sequence", cabSeqBase, d.nBins),
+		region("bins", cabBitsBase, d.nBins),
+		region("maint", cabMaint, 8),
 	}
 }
 

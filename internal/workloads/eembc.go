@@ -33,6 +33,26 @@ func initRGB(p Params) func(*mem.Func) error {
 	}
 }
 
+// rgbRegions declares the three input planes of the RGB kernels.
+func rgbRegions(p Params) []mem.Region {
+	n := p.ImageW * p.ImageH
+	return []mem.Region{
+		region("r", imgRBase, n),
+		region("g", imgGBase, n),
+		region("b", imgBBase, n),
+	}
+}
+
+// planarOutRegions declares the three planar output components.
+func planarOutRegions(p Params) []mem.Region {
+	n := p.ImageW * p.ImageH
+	return []mem.Region{
+		region("out0", outYBase, n),
+		region("out1", outUBase, n),
+		region("out2", outVBase, n),
+	}
+}
+
 func rgbAt(m *mem.Func, p Params, i int) (int32, int32, int32) {
 	return int32(m.ByteAt(imgRBase + uint32(i))),
 		int32(m.ByteAt(imgGBase + uint32(i))),
@@ -121,6 +141,10 @@ func Filter(p Params) *Spec {
 		Init: func(m *mem.Func) error {
 			video.FillTestPattern(m, video.NewFrame(grayIn, p.ImageW, p.ImageH), 404)
 			return nil
+		},
+		Regions: []mem.Region{
+			region("in", grayIn, p.ImageW*p.ImageH),
+			region("out", grayOut, p.ImageW*p.ImageH),
 		},
 		Check: func(m *mem.Func) error {
 			at := func(x, y int) int32 { return int32(m.ByteAt(grayIn + uint32(y*p.ImageW+x))) }
@@ -234,6 +258,7 @@ func RGB2YUV(p Params) *Spec {
 		Prog:        pr,
 		Args:        args,
 		Init:        initRGB(p),
+		Regions:     append(rgbRegions(p), planarOutRegions(p)...),
 		Check: func(m *mem.Func) error {
 			for i := 0; i < n; i++ {
 				r, g, bb := rgbAt(m, p, i)
@@ -271,6 +296,7 @@ func RGB2YIQ(p Params) *Spec {
 		Prog:        pr,
 		Args:        args,
 		Init:        initRGB(p),
+		Regions:     append(rgbRegions(p), planarOutRegions(p)...),
 		Check: func(m *mem.Func) error {
 			for i := 0; i < n; i++ {
 				r, g, bb := rgbAt(m, p, i)
@@ -342,7 +368,8 @@ func RGB2CMYK(p Params) *Spec {
 			rPtr: imgRBase, gPtr: imgGBase, bPtr: imgBBase, oPtr: cmykBase,
 			cnt: uint32(n),
 		},
-		Init: initRGB(p),
+		Init:    initRGB(p),
+		Regions: append(rgbRegions(p), region("cmyk", cmykBase, 4*n)),
 		Check: func(m *mem.Func) error {
 			for i := 0; i < n; i++ {
 				r, g, bb := rgbAt(m, p, i)

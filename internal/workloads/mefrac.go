@@ -201,6 +201,13 @@ func MotionEst(mp MEParams) *Spec {
 			refPtr: meRefBase,
 			outPtr: meOutBase,
 		},
+		Regions: appendMMIO(mp.Prefetch, []mem.Region{
+			region("cur", meCurBase, mp.W*mp.H),
+			// ld_frac8 reads five bytes; pad the tail for the rightmost
+			// fractional window positions.
+			region("ref", meRefBase, mp.W*mp.H+8),
+			region("out", meOutBase, 8*blocksX*blocksY),
+		}),
 		Init: func(m *mem.Func) error {
 			video.FillTestPattern(m, video.NewFrame(meCurBase, mp.W, mp.H), 90)
 			video.FillTestPattern(m, video.NewFrame(meRefBase, mp.W, mp.H), 91)

@@ -40,6 +40,7 @@ func Memset(p Params) *Spec {
 		Args: map[prog.VReg]uint32{
 			dst: memDstBase, val: pattern, cnt: uint32(bytes),
 		},
+		Regions: []mem.Region{region("dst", memDstBase, bytes)},
 		Check: func(m *mem.Func) error {
 			want := make([]byte, bytes)
 			for i := range want {
@@ -79,6 +80,10 @@ func Memcpy(p Params) *Spec {
 		Prog:        pr,
 		Args: map[prog.VReg]uint32{
 			src: memSrcBase, dst: memDstBase, cnt: uint32(bytes),
+		},
+		Regions: []mem.Region{
+			region("src", memSrcBase, bytes),
+			region("dst", memDstBase, bytes),
 		},
 		Init: func(m *mem.Func) error {
 			for i := 0; i < bytes; i++ {

@@ -121,6 +121,11 @@ func MP3Synth(p Params) *Spec {
 			winPtr: mp3WinBase, smpPtr: mp3SmpBase, outPtr: mp3OutBase,
 			gcnt: uint32(granules),
 		},
+		Regions: []mem.Region{
+			region("window", mp3WinBase, 2*len(win)),
+			region("samples", mp3SmpBase, 2*len(smp)),
+			region("pcm", mp3OutBase, 2*32*granules),
+		},
 		Init: func(m *mem.Func) error {
 			for i, v := range win {
 				m.Store(mp3WinBase+uint32(2*i), 2, uint64(uint16(v)))

@@ -48,11 +48,16 @@ func mpeg2SpecOpt(p Params, s mpeg2.Stream, useSuper bool) (*Spec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workloads: %s: %w", s.Name, err)
 	}
+	lay, err := mpeg2.NewLayout(p.Mpeg2W, p.Mpeg2H)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", s.Name, err)
+	}
 	return &Spec{
 		Name:        s.Name,
 		Description: "MPEG2 decoder reconstruction (" + s.Name + ")",
 		Prog:        pr,
 		Args:        args,
+		Regions:     mpeg2Regions(lay, p),
 		Init: func(m *mem.Func) error {
 			l, err := mpeg2.Build(m, p.Mpeg2W, p.Mpeg2H, s)
 			if err != nil {
@@ -77,6 +82,28 @@ func mpeg2SpecOpt(p Params, s mpeg2.Stream, useSuper bool) (*Spec, error) {
 			return checkRegion(m, crb, want.Cr, s.Name+" Cr")
 		},
 	}, nil
+}
+
+// mpeg2Regions is the decoder's memory map: both luma frames and the
+// four chroma planes (reconstruction ping-pongs between them across
+// chained frames), the per-macroblock motion vectors, coded flags and
+// residual coefficients, and the two IDCT scratch blocks.
+func mpeg2Regions(l *mpeg2.Layout, p Params) []mem.Region {
+	luma := p.Mpeg2W * p.Mpeg2H
+	chroma := luma / 4
+	mbs := l.NumMBs()
+	return []mem.Region{
+		region("ref", l.Ref.Base, luma),
+		region("out", l.Out.Base, luma),
+		region("refCb", l.RefCb.Base, chroma),
+		region("refCr", l.RefCr.Base, chroma),
+		region("outCb", l.OutCb.Base, chroma),
+		region("outCr", l.OutCr.Base, chroma),
+		region("mv", l.MVBase, 4*mbs),
+		region("coded", l.Coded, mbs),
+		region("coeff", l.Coeff, mpeg2.MBCoeffBytes*mbs),
+		region("scratch", l.Scratch, 256),
+	}
 }
 
 // Memory alias groups of the decoder kernel.

@@ -69,6 +69,11 @@ func FilmDet(p Params) *Spec {
 		Args: map[prog.VReg]uint32{
 			aPtr: fieldABase, bPtr: fieldBBase, res: filmResBase, cnt: uint32(n),
 		},
+		Regions: []mem.Region{
+			region("fieldA", fieldABase, n),
+			region("fieldB", fieldBBase, n),
+			region("result", filmResBase, 8),
+		},
 		Init: func(m *mem.Func) error {
 			video.FillTestPattern(m, video.NewFrame(fieldABase, p.ImageW, p.FieldH), 71)
 			video.FillTestPattern(m, video.NewFrame(fieldBBase, p.ImageW, p.FieldH), 72)
@@ -135,6 +140,12 @@ func MajoritySel(p Params) *Spec {
 		Args: map[prog.VReg]uint32{
 			aPtr: fieldABase, bPtr: fieldBBase, cPtr: fieldCBase, oPtr: deintBase,
 			cnt: uint32(n),
+		},
+		Regions: []mem.Region{
+			region("fieldA", fieldABase, n),
+			region("fieldB", fieldBBase, n),
+			region("fieldC", fieldCBase, n),
+			region("out", deintBase, n),
 		},
 		Init: func(m *mem.Func) error {
 			video.FillTestPattern(m, video.NewFrame(fieldABase, p.ImageW, p.FieldH), 81)

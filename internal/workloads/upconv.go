@@ -123,6 +123,12 @@ func Upconv(p Params, pf bool) *Spec {
 			prevPtr: upPrevBase, nextPtr: upNextBase,
 			outPtr: upOutBase, mvPtr: upMVBase,
 		},
+		Regions: appendMMIO(pf, []mem.Region{
+			region("prev", upPrevBase, w*h),
+			region("next", upNextBase, w*h),
+			region("out", upOutBase, w*h),
+			region("mv", upMVBase, 4*len(mvs)),
+		}),
 		Init: func(m *mem.Func) error {
 			video.FillTestPattern(m, video.NewFrame(upPrevBase, w, h), 61)
 			video.FillTestPattern(m, video.NewFrame(upNextBase, w, h), 62)

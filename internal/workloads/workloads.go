@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"tm3270/internal/mem"
+	"tm3270/internal/prefetch"
 	"tm3270/internal/prog"
 )
 
@@ -27,6 +28,25 @@ type Spec struct {
 	// TM3270Only marks workloads using ISA extensions that the TM3260
 	// cannot schedule (Table 3 / ablations).
 	TM3270Only bool
+	// Regions is the workload's declared memory map: every address the
+	// kernel may legally touch lies in one of these. binverify uses it
+	// to prove load/store addresses in-bounds; workloads that program
+	// the prefetch engine include its MMIO window.
+	Regions []mem.Region
+}
+
+// region builds one memory-map entry covering [base, base+size).
+func region(name string, base uint32, size int) mem.Region {
+	return mem.Region{Name: name, Lo: base, Hi: base + uint32(size)}
+}
+
+// appendMMIO adds the prefetch-engine register window to a memory map
+// when the workload variant programs it.
+func appendMMIO(pf bool, rs []mem.Region) []mem.Region {
+	if pf {
+		rs = append(rs, region("pf-mmio", prefetch.MMIOBase, prefetch.MMIOSize))
+	}
+	return rs
 }
 
 // Params scales the workloads. Full() matches the paper's evaluation
