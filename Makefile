@@ -4,11 +4,16 @@ GO ?= go
 
 # Tier-1 gate: lint (vet + tmvet + gofmt), the full test suite under the
 # race detector (includes the concurrent-runner and batch determinism
-# tests in internal/runner), the per-package coverage-floor gate, the
-# machine-readable quick bench (written and schema-checked), the
-# serial-vs-parallel byte-identity proof, and the live-daemon smoke
-# (boot tm3270d, drive load, assert zero 5xx and a clean SIGTERM drain).
-check: lint race cover bench-json bench-par serve-smoke
+# tests in internal/runner, and TestEnginesAgree — the direct
+# fast-vs-interp equivalence matrix), the per-package coverage-floor
+# gate, the differential conformance campaign on BOTH execution engines
+# (zero divergences against the reference model transitively proves the
+# block-cache fast path and the interpreter agree on every covered
+# program), the machine-readable quick bench (written and
+# schema-checked), the serial-vs-parallel byte-identity proof, and the
+# live-daemon smoke (boot tm3270d, drive load, assert zero 5xx and a
+# clean SIGTERM drain).
+check: lint race cover cosim bench-json bench-par serve-smoke
 
 build:
 	$(GO) build ./...
@@ -50,7 +55,8 @@ campaign:
 
 # cosim: the differential conformance campaign — every workload plus
 # 2000 generated programs, pipeline model vs reference model, all four
-# targets. Exits nonzero on any divergence.
+# targets, once per execution engine (blockcache and interp). Exits
+# nonzero on any divergence.
 cosim:
 	$(GO) run ./cmd/tm3270bench -quick -cosim
 

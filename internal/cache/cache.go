@@ -86,6 +86,22 @@ func (c *Cache) Lookup(addr uint32) (*Line, bool) {
 	return nil, false
 }
 
+// LookupTouch finds addr's line and, on a hit, marks it most recently
+// used — Lookup and Touch fused into one set scan for access paths
+// that always promote on a hit.
+func (c *Cache) LookupTouch(addr uint32) (*Line, bool) {
+	set := c.Index(addr)
+	tag := c.tag(addr)
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.Valid && l.Tag == tag {
+			c.promote(set, uint8(w))
+			return l, true
+		}
+	}
+	return nil, false
+}
+
 // Touch marks addr's line most recently used.
 func (c *Cache) Touch(addr uint32) {
 	set := c.Index(addr)

@@ -13,6 +13,7 @@
 package cosim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -42,6 +43,13 @@ type Options struct {
 	// name — so the run agrees exactly when both models trap the same
 	// way, or neither does.
 	StrictMem bool
+	// Engine selects the pipeline model's execution engine (the zero
+	// value is the blockcache fast path), making the harness double as
+	// the fast-vs-interp equivalence gate: a blockcache sweep holds the
+	// fast path to the same independent oracle the interpreter already
+	// conforms to — including the lockstep rerun, which rides the
+	// fast path's InstrHook support.
+	Engine tmsim.Engine
 }
 
 // Divergence describes the first observed disagreement between the two
@@ -151,12 +159,11 @@ type run struct {
 }
 
 func (r *run) newSim() *tmsim.Machine {
-	image := mem.NewFunc()
+	var image *mem.Func
 	if r.init != nil {
 		image = copyFunc(r.init)
 	}
-	sim := tmsim.Load(r.art.Code, r.art.RegMap, r.art.Enc, image)
-	return sim
+	return runner.Load(r.art, image).Machine
 }
 
 func (r *run) execute(opts Options) (*Result, error) {
@@ -175,12 +182,13 @@ func (r *run) execute(opts Options) (*Result, error) {
 	ref := refmodel.New(dec, r.t, refImage)
 	sim.MaxInstrs, ref.MaxInstrs = opts.MaxInstrs, opts.MaxInstrs
 	sim.StrictMem, ref.StrictMem = opts.StrictMem, opts.StrictMem
+	sim.Engine = opts.Engine
 	for reg, v := range r.args {
 		sim.SetPhysReg(reg, v)
 		ref.SetReg(reg, v)
 	}
 
-	simErr := sim.Run()
+	simErr := sim.RunContext(context.Background())
 	refTrap := ref.Run()
 	res.Instrs = sim.Stats.Instrs
 
@@ -273,6 +281,7 @@ func (r *run) lockstep(dec []encode.DecInstr, opts Options) *Divergence {
 	ref := refmodel.New(dec, r.t, refImage)
 	sim.MaxInstrs, ref.MaxInstrs = opts.MaxInstrs, opts.MaxInstrs
 	sim.StrictMem, ref.StrictMem = opts.StrictMem, opts.StrictMem
+	sim.Engine = opts.Engine
 	for reg, v := range r.args {
 		sim.SetPhysReg(reg, v)
 		ref.SetReg(reg, v)
@@ -302,7 +311,7 @@ func (r *run) lockstep(dec []encode.DecInstr, opts Options) *Divergence {
 		}
 		ref.Step()
 	}
-	_ = sim.Run()
+	_ = sim.RunContext(context.Background())
 	return div
 }
 

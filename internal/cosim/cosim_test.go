@@ -1,6 +1,7 @@
 package cosim
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -215,7 +216,7 @@ func TestStrictUndefinedReadAgreement(t *testing.T) {
 	for reg, val := range args {
 		sim.SetPhysReg(reg, val)
 	}
-	runErr := sim.Run()
+	runErr := sim.RunContext(context.Background())
 	var trap *tmsim.TrapError
 	if !errors.As(runErr, &trap) || trap.Kind != tmsim.TrapUnmappedLoad {
 		t.Fatalf("pipeline model under strict returned %v, want TrapUnmappedLoad", runErr)

@@ -143,9 +143,12 @@ func (d *DCache) Access(now int64, addr uint32, size int, kind Kind) int64 {
 	return stall
 }
 
-// one handles the portion of an access within a single line.
+// one handles the portion of an access within a single line. The
+// lookup promotes on a hit (both the load- and store-hit paths always
+// touch their line; promoting at lookup time is the same LRU outcome
+// in one set scan).
 func (d *DCache) one(now int64, addr uint32, size int, lineAddr uint32, kind Kind) int64 {
-	l, hit := d.arr.Lookup(lineAddr)
+	l, hit := d.arr.LookupTouch(lineAddr)
 	switch kind {
 	case Load:
 		if hit {
@@ -155,7 +158,7 @@ func (d *DCache) one(now int64, addr uint32, size int, lineAddr uint32, kind Kin
 				d.Stats.PartialHits++
 				stall = l.ReadyAt - now
 				d.Stats.StallInFlight += stall
-				if d.pf != nil && d.prefetched[lineAddr] {
+				if d.pf != nil && len(d.prefetched) != 0 && d.prefetched[lineAddr] {
 					// Prefetch issued but not timely: count it late
 					// (once) rather than useful.
 					d.pf.Stats.Late++
@@ -175,12 +178,11 @@ func (d *DCache) one(now int64, addr uint32, size int, lineAddr uint32, kind Kin
 				stall = done - now
 			} else {
 				d.Stats.LoadHits++
-				if d.pf != nil && d.prefetched[lineAddr] {
+				if d.pf != nil && len(d.prefetched) != 0 && d.prefetched[lineAddr] {
 					d.pf.Stats.Useful++
 					delete(d.prefetched, lineAddr)
 				}
 			}
-			d.arr.Touch(lineAddr)
 			return stall
 		}
 		d.Stats.LoadMisses++
@@ -201,7 +203,6 @@ func (d *DCache) one(now int64, addr uint32, size int, lineAddr uint32, kind Kin
 			d.Stats.StoreHits++
 			d.arr.MarkValid(l, addr, size)
 			l.Dirty = true
-			d.arr.Touch(lineAddr)
 			// Stores complete through the cache write buffer; an
 			// in-flight fill does not stall them.
 			return 0
@@ -253,10 +254,9 @@ func (d *DCache) one(now int64, addr uint32, size int, lineAddr uint32, kind Kin
 // alloc validates a whole line without fetching it (ALLOCD).
 func (d *DCache) alloc(now int64, addr uint32) int64 {
 	lineAddr := d.arr.LineAddr(addr)
-	if l, hit := d.arr.Lookup(lineAddr); hit {
+	if l, hit := d.arr.LookupTouch(lineAddr); hit {
 		d.arr.SetAllValid(l)
 		l.Dirty = true
-		d.arr.Touch(lineAddr)
 		return 0
 	}
 	d.evictFor(now, lineAddr)
@@ -278,7 +278,7 @@ func (d *DCache) evictFor(now int64, lineAddr uint32) {
 	}
 	if v.Valid {
 		va := d.arr.VictimAddr(v, lineAddr)
-		if d.prefetched[va] {
+		if len(d.prefetched) != 0 && d.prefetched[va] {
 			// The prefetched line never saw a demand access.
 			if d.pf != nil {
 				d.pf.Stats.Evicted++

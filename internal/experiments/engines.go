@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"tm3270/internal/config"
+	"tm3270/internal/mem"
+	"tm3270/internal/runner"
+	"tm3270/internal/tmsim"
+	"tm3270/internal/workloads"
+)
+
+// EngineRow is the measured retire rate of both execution engines on
+// one target: the full workload suite, precompiled, execution time
+// only (compilation and memory-image construction excluded).
+type EngineRow struct {
+	Target     string
+	Workloads  int
+	Instrs     int64         // retired instructions, identical per engine
+	InterpTime time.Duration // wall-clock execution, interpreter
+	FastTime   time.Duration // wall-clock execution, block-cache engine
+}
+
+// InterpRate returns the interpreter's retire rate in M instrs/s.
+func (r *EngineRow) InterpRate() float64 {
+	return float64(r.Instrs) / r.InterpTime.Seconds() / 1e6
+}
+
+// FastRate returns the block-cache engine's retire rate in M instrs/s.
+func (r *EngineRow) FastRate() float64 {
+	return float64(r.Instrs) / r.FastTime.Seconds() / 1e6
+}
+
+// Speedup returns the block-cache engine's speedup over the interpreter.
+func (r *EngineRow) Speedup() float64 {
+	return r.InterpTime.Seconds() / r.FastTime.Seconds()
+}
+
+// EngineComparison measures both execution engines over every
+// schedulable workload of the suite on each target: one row per
+// target, instruction counts cross-checked between engines (the two
+// must retire identical totals — a mismatch is an engine bug, not a
+// measurement artifact).
+func EngineComparison(p workloads.Params, targets []config.Target) ([]EngineRow, error) {
+	var rows []EngineRow
+	for _, tgt := range targets {
+		row := EngineRow{Target: tgt.Name}
+		type prep struct {
+			w   *workloads.Spec
+			art *runner.Artifact
+		}
+		var preps []prep
+		for _, name := range workloads.Names() {
+			w, err := workloads.ByName(name, p)
+			if err != nil {
+				return nil, err
+			}
+			art, err := runner.CompileWorkload(w, tgt)
+			if err != nil {
+				var serr *runner.ScheduleError
+				if errors.As(err, &serr) {
+					continue // workload needs operations this target lacks
+				}
+				return nil, err
+			}
+			preps = append(preps, prep{w, art})
+		}
+		run := func(pr prep, eng tmsim.Engine) (int64, time.Duration, error) {
+			image := mem.NewFunc()
+			if pr.w.Init != nil {
+				if err := pr.w.Init(image); err != nil {
+					return 0, 0, fmt.Errorf("%s on %s: init: %w", pr.w.Name, tgt.Name, err)
+				}
+			}
+			ld := runner.Load(pr.art, image, runner.WithEngine(eng))
+			for v, val := range pr.w.Args {
+				ld.Machine.SetReg(v, val)
+			}
+			start := time.Now()
+			err := ld.RunContext(context.Background())
+			return ld.Machine.Stats.Instrs, time.Since(start), err
+		}
+		for _, pr := range preps {
+			iInstrs, iTime, err := run(pr, tmsim.EngineInterp)
+			if err != nil {
+				var trap *tmsim.TrapError
+				if errors.As(err, &trap) {
+					// The workload faults on this target (e.g. prefetch
+					// MMIO without the unit); both engines trap
+					// identically, so it contributes no measurement.
+					continue
+				}
+				return nil, err
+			}
+			fInstrs, fTime, err := run(pr, tmsim.EngineBlockCache)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s (blockcache): %w", pr.w.Name, tgt.Name, err)
+			}
+			if fInstrs != iInstrs {
+				return nil, fmt.Errorf("%s on %s: engines retired different totals: interp %d, blockcache %d",
+					pr.w.Name, tgt.Name, iInstrs, fInstrs)
+			}
+			row.Workloads++
+			row.Instrs += iInstrs
+			row.InterpTime += iTime
+			row.FastTime += fTime
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintEngineComparison renders the retire-rate table.
+func PrintEngineComparison(w io.Writer, rows []EngineRow) {
+	fmt.Fprintln(w, "Execution-engine retire rate (full workload suite per target,")
+	fmt.Fprintln(w, "precompiled, execution time only)")
+	fmt.Fprintf(w, "%-34s %5s %12s %12s %12s %8s\n",
+		"target", "wkld", "instrs", "interp M/s", "fast M/s", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-34s %5d %12d %12.2f %12.2f %7.2fx\n",
+			r.Target, r.Workloads, r.Instrs, r.InterpRate(), r.FastRate(), r.Speedup())
+	}
+}

@@ -2,6 +2,7 @@ package experiments_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"path/filepath"
 	"reflect"
@@ -65,7 +66,7 @@ func TestSnapshotDeterminism(t *testing.T) {
 		m := buildMachine(t, "blockwalk_pf", p, config.ConfigD())
 		inj := faults.New(spec, 42)
 		inj.Arm(m)
-		if err := m.Run(); err != nil {
+		if err := m.RunContext(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		inj.Disarm(m)
@@ -95,7 +96,7 @@ func TestStallIdentity(t *testing.T) {
 		}
 		for _, name := range names {
 			m := buildMachine(t, name, p, tgt)
-			if err := m.Run(); err != nil {
+			if err := m.RunContext(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			s := m.Stats
@@ -129,7 +130,7 @@ func TestProfileReconciles(t *testing.T) {
 	for _, name := range []string{"mpeg2_b", "blockwalk_pf"} {
 		m := buildMachine(t, name, p, config.ConfigD())
 		prof := m.EnableProfile()
-		if err := m.Run(); err != nil {
+		if err := m.RunContext(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		if got := prof.TotalCycles(); got != m.Stats.Cycles {
@@ -164,7 +165,7 @@ func TestEventTraceRoundTrip(t *testing.T) {
 		m := buildMachine(t, "mpeg2_b", p, tgt)
 		tr := telemetry.NewTrace(0)
 		m.SetEventTrace(tr)
-		if err := m.Run(); err != nil {
+		if err := m.RunContext(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer

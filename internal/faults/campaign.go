@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -217,7 +218,7 @@ func runOne(name string, cfg CampaignConfig, spec Spec, seed int64, ref *mem.Fun
 
 	inj := New(spec, seed)
 	inj.Arm(m)
-	runErr := m.Run()
+	runErr := m.RunContext(context.Background())
 	inj.Disarm(m)
 
 	rep := &RunReport{Workload: name, Spec: spec, Seed: seed, Injected: len(inj.Events)}

@@ -67,9 +67,8 @@ func (ic *ICache) Fetch(now int64, addr uint32, size int) int64 {
 
 func (ic *ICache) fetchChunk(now int64, chunk uint32) int64 {
 	lineAddr := ic.arr.LineAddr(chunk)
-	if l, hit := ic.arr.Lookup(lineAddr); hit {
+	if l, hit := ic.arr.LookupTouch(lineAddr); hit {
 		ic.Stats.Hits++
-		ic.arr.Touch(lineAddr)
 		if l.ReadyAt > now {
 			return l.ReadyAt - now
 		}

@@ -67,6 +67,17 @@ func (f *RegFile) Write(r Reg, v uint32) {
 	f.v[r] = v
 }
 
+// Raw exposes the backing array for engines that index registers
+// directly. The hardwired slots are primed with their constant values;
+// callers must never write to a register ≤ R1 through the array (the
+// fast-path engine guards its writes, and Read/Snapshot special-case
+// the two slots regardless).
+func (f *RegFile) Raw() *[NumRegs]uint32 {
+	f.v[R0] = 0
+	f.v[R1] = 1
+	return &f.v
+}
+
 // Reset clears every writable register to zero.
 func (f *RegFile) Reset() {
 	f.v = [NumRegs]uint32{}

@@ -32,8 +32,18 @@ type page struct {
 // space. All multi-byte accesses are big-endian and may be non-aligned,
 // matching the ISA's memory semantics. The zero value is an empty image
 // reading as zero everywhere.
+//
+// A Func is private to one machine (like its register file) and not
+// safe for concurrent use: even reads go through a one-entry page
+// cache that keeps the hot loop off the page map.
 type Func struct {
 	pages map[uint32]*page
+
+	// One-entry page cache. Pages are never removed, so a cached
+	// pointer can only go stale by never being populated, not by
+	// pointing at dead state.
+	lastIdx  uint32
+	lastPage *page
 
 	// Fault, when non-nil, taps every Load (fault injection).
 	Fault LoadFault
@@ -46,10 +56,16 @@ func NewFunc() *Func {
 
 func (m *Func) page(addr uint32, create bool) *page {
 	idx := addr >> pageBits
+	if m.lastPage != nil && m.lastIdx == idx {
+		return m.lastPage
+	}
 	p := m.pages[idx]
 	if p == nil && create {
 		p = new(page)
 		m.pages[idx] = p
+	}
+	if p != nil {
+		m.lastIdx, m.lastPage = idx, p
 	}
 	return p
 }
@@ -133,8 +149,18 @@ func (m *Func) FlipBit(addr uint32, bit uint) {
 // Load implements isa.Memory: n bytes (1..8) big-endian starting at addr.
 func (m *Func) Load(addr uint32, n int) uint64 {
 	var v uint64
-	for i := 0; i < n; i++ {
-		v = v<<8 | uint64(m.ByteAt(addr+uint32(i)))
+	off := addr & (1<<pageBits - 1)
+	if int(off)+n <= 1<<pageBits {
+		// The access stays on one page: resolve it once.
+		if p := m.page(addr, false); p != nil {
+			for i := 0; i < n; i++ {
+				v = v<<8 | uint64(p.data[off+uint32(i)])
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			v = v<<8 | uint64(m.ByteAt(addr+uint32(i)))
+		}
 	}
 	if m.Fault != nil {
 		v = m.Fault.TapLoad(addr, n, v)
@@ -144,6 +170,17 @@ func (m *Func) Load(addr uint32, n int) uint64 {
 
 // Store implements isa.Memory: the n low-order bytes of v, big-endian.
 func (m *Func) Store(addr uint32, n int, v uint64) {
+	off := addr & (1<<pageBits - 1)
+	if int(off)+n <= 1<<pageBits {
+		p := m.page(addr, true)
+		for i := n - 1; i >= 0; i-- {
+			o := off + uint32(i)
+			p.data[o] = byte(v)
+			p.valid[o/8] |= 1 << (o % 8)
+			v >>= 8
+		}
+		return
+	}
 	for i := n - 1; i >= 0; i-- {
 		m.SetByte(addr+uint32(i), byte(v))
 		v >>= 8

@@ -1,0 +1,137 @@
+package runner_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tm3270/internal/config"
+	"tm3270/internal/mem"
+	"tm3270/internal/runner"
+	"tm3270/internal/tmsim"
+	"tm3270/internal/workloads"
+)
+
+// engineOutcome is everything architecturally or temporally visible
+// from one run: the trap (if any), the full register file, the final
+// memory image, and the cycle count with its per-cause stall split.
+type engineOutcome struct {
+	err  error
+	m    *tmsim.Machine
+	mem  *mem.Func
+	eng  tmsim.Engine
+	used tmsim.Engine
+}
+
+func runEngine(t *testing.T, art *runner.Artifact, w *workloads.Spec, eng tmsim.Engine) *engineOutcome {
+	t.Helper()
+	image := mem.NewFunc()
+	if w.Init != nil {
+		if err := w.Init(image); err != nil {
+			t.Fatalf("%s init: %v", w.Name, err)
+		}
+	}
+	ld := runner.Load(art, image, runner.WithEngine(eng))
+	for v, val := range w.Args {
+		ld.Machine.SetReg(v, val)
+	}
+	err := ld.RunContext(context.Background())
+	return &engineOutcome{err: err, m: ld.Machine, mem: image, eng: eng, used: ld.Engine()}
+}
+
+// TestEnginesAgree is the engine-equivalence gate: every workload of
+// the suite, on every processor target it schedules for, must produce
+// bit-identical results on the interpreter and the block-cache engine —
+// registers, memory, trap identity, and the complete cycle/stall
+// accounting. Any divergence is an engine bug by definition.
+func TestEnginesAgree(t *testing.T) {
+	p := workloads.Small()
+	targets := []config.Target{
+		config.ConfigA(), config.ConfigB(), config.ConfigC(), config.ConfigD(),
+		config.TM3260(), config.TM3270(),
+	}
+	pairs := 0
+	for _, tgt := range targets {
+		for _, name := range workloads.Names() {
+			w, err := workloads.ByName(name, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			art, err := runner.CompileWorkload(w, tgt)
+			if err != nil {
+				var serr *runner.ScheduleError
+				if errors.As(err, &serr) {
+					continue // target lacks operations this workload needs
+				}
+				t.Fatalf("%s on %s: compile: %v", name, tgt.Name, err)
+			}
+			pairs++
+			t.Run(tgt.Name+"/"+name, func(t *testing.T) {
+				ref := runEngine(t, art, w, tmsim.EngineInterp)
+				fast := runEngine(t, art, w, tmsim.EngineBlockCache)
+				if ref.used != tmsim.EngineInterp || fast.used != tmsim.EngineBlockCache {
+					t.Fatalf("engines used: %v and %v, want interp and blockcache", ref.used, fast.used)
+				}
+				diffOutcomes(t, ref, fast)
+			})
+		}
+	}
+	// The matrix must actually cover the suite: six targets, most
+	// workloads schedulable on each.
+	if pairs < 60 {
+		t.Errorf("only %d workload x target pairs ran; the agreement matrix collapsed", pairs)
+	}
+}
+
+func diffOutcomes(t *testing.T, ref, fast *engineOutcome) {
+	t.Helper()
+	// Trap identity: both engines must fault the same way or not at
+	// all. On a shared fault the partial state is still compared —
+	// traps are precise on both engines.
+	var rt, ft *tmsim.TrapError
+	if (ref.err == nil) != (fast.err == nil) {
+		t.Fatalf("interp err = %v, blockcache err = %v", ref.err, fast.err)
+	}
+	if ref.err != nil {
+		if !errors.As(ref.err, &rt) || !errors.As(fast.err, &ft) {
+			t.Fatalf("non-trap errors: interp %v, blockcache %v", ref.err, fast.err)
+		}
+		if rt.Kind != ft.Kind || rt.PC != ft.PC || rt.Issue != ft.Issue || rt.Cycle != ft.Cycle {
+			t.Fatalf("trap diverged: interp %v at pc=%#x issue=%d cycle=%d, blockcache %v at pc=%#x issue=%d cycle=%d",
+				rt.Kind, rt.PC, rt.Issue, rt.Cycle, ft.Kind, ft.PC, ft.Issue, ft.Cycle)
+		}
+	}
+
+	if rr, fr := ref.m.RegSnapshot(), fast.m.RegSnapshot(); rr != fr {
+		for i := range rr {
+			if rr[i] != fr[i] {
+				t.Errorf("r%d = %#x (interp) vs %#x (blockcache)", i, rr[i], fr[i])
+			}
+		}
+	}
+	if addr, diff := mem.Diff(ref.mem, fast.mem); diff {
+		t.Errorf("memory diverged at %#x: %#x (interp) vs %#x (blockcache)",
+			addr, ref.mem.ByteAt(addr), fast.mem.ByteAt(addr))
+	}
+
+	rs, fs := &ref.m.Stats, &fast.m.Stats
+	type cmp struct {
+		name     string
+		ref, got int64
+	}
+	for _, c := range []cmp{
+		{"cycles", rs.Cycles, fs.Cycles},
+		{"instrs", rs.Instrs, fs.Instrs},
+		{"ops", rs.Ops, fs.Ops},
+		{"fetch stalls", rs.FetchStalls, fs.FetchStalls},
+		{"jump stalls", rs.JumpStalls, fs.JumpStalls},
+		{"data stalls", rs.DataStalls, fs.DataStalls},
+		{"data miss stalls", rs.DataMissStalls, fs.DataMissStalls},
+		{"data in-flight stalls", rs.DataInFlightStalls, fs.DataInFlightStalls},
+		{"data CWB stalls", rs.DataCWBStalls, fs.DataCWBStalls},
+	} {
+		if c.ref != c.got {
+			t.Errorf("%s: %d (interp) vs %d (blockcache)", c.name, c.ref, c.got)
+		}
+	}
+}

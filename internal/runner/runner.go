@@ -61,6 +61,11 @@ type Options struct {
 	StrictMem bool
 	// Verify gates execution on the whole-program static verifier.
 	Verify bool
+	// Engine selects the execution engine. The zero value is the
+	// predecoded block-cache fast path (with automatic interpreter
+	// fallback when a run arms features it does not support);
+	// tmsim.EngineInterp forces the reference interpreter.
+	Engine tmsim.Engine
 	// Telemetry, when non-nil, is the run's observability sink.
 	Telemetry *Telemetry
 	// Artifact, when non-nil, skips compilation and loads the machine
@@ -90,6 +95,12 @@ func WithStrictMem(on bool) Option { return func(o *Options) { o.StrictMem = on 
 // cycle executes and refuses the run on any error-severity diagnostic.
 func WithVerify(on bool) Option { return func(o *Options) { o.Verify = on } }
 
+// WithEngine selects the execution engine (tmsim.EngineBlockCache, the
+// default, or tmsim.EngineInterp). The block-cache engine falls back to
+// the interpreter automatically when the run arms features it does not
+// support; Result.Engine reports what actually executed.
+func WithEngine(e tmsim.Engine) Option { return func(o *Options) { o.Engine = e } }
+
 // WithTelemetry attaches a per-run observability sink.
 func WithTelemetry(t *Telemetry) Option { return func(o *Options) { o.Telemetry = t } }
 
@@ -106,6 +117,9 @@ type Result struct {
 	Stats    tmsim.Stats
 	Machine  *tmsim.Machine
 	Artifact *Artifact
+	// Engine is the engine that actually executed the run — the
+	// requested one, or the interpreter after an automatic fallback.
+	Engine tmsim.Engine
 }
 
 // Seconds returns the wall-clock time of the run at the target's
@@ -172,28 +186,16 @@ func RunContext(ctx context.Context, w *workloads.Spec, t config.Target, opts ..
 		}
 	}
 
-	m := tmsim.Load(art.Code, art.RegMap, art.Enc, image)
-	m.MaxInstrs = o.Watchdog
-	m.Deadline = o.Deadline
-	m.StrictMem = o.StrictMem
-	if o.Telemetry != nil {
-		if o.Telemetry.Trace != nil {
-			m.SetEventTrace(o.Telemetry.Trace)
-		}
-		if o.Telemetry.EnableProfile {
-			o.Telemetry.Profile = m.EnableProfile()
-		}
-	}
-	if o.Setup != nil {
-		o.Setup(m)
-	}
+	ld := loadWith(art, image, &o)
+	m := ld.Machine
 	for v, val := range w.Args {
 		m.SetReg(v, val)
 	}
 
 	res := &Result{Workload: w.Name, Target: t, Machine: m, Artifact: art}
-	runErr := m.RunContext(ctx)
+	runErr := ld.RunContext(ctx)
 	res.Stats = m.Stats
+	res.Engine = m.EngineUsed
 	if o.Telemetry != nil {
 		o.Telemetry.Registry = m.Registry()
 		o.Telemetry.Snapshot = o.Telemetry.Registry.Snapshot()

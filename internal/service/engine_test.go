@@ -1,0 +1,108 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+
+	"tm3270/internal/service"
+)
+
+// TestEngineRoundTrip covers the engine half of the run API: the
+// session default, the per-run override, the engine-used report and
+// the block-cache counters in the reply, and the per-engine counters
+// in /metrics.
+func TestEngineRoundTrip(t *testing.T) {
+	srv, ts := newServer(t, service.Config{})
+	c := newClient(ts)
+	ctx := context.Background()
+
+	// Default session: runs execute on the block-cache engine and the
+	// reply carries its translation counters.
+	info, err := c.CreateSession(ctx, service.CreateSessionRequest{Workload: "memcpy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(ctx, info.ID, service.RunRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != service.StatusOK || rep.Engine != "blockcache" {
+		t.Fatalf("default run: status=%q engine=%q, want ok on blockcache", rep.Status, rep.Engine)
+	}
+	if rep.BlockCache == nil || rep.BlockCache.Translated <= 0 {
+		t.Fatalf("blockcache run reply carries no cache counters: %+v", rep.BlockCache)
+	}
+
+	// Per-run override: one interp run in a blockcache session.
+	rep, err = c.Run(ctx, info.ID, service.RunRequest{Engine: "interp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Engine != "interp" || rep.BlockCache != nil {
+		t.Fatalf("interp override: engine=%q blockcache=%+v, want interp with no counters",
+			rep.Engine, rep.BlockCache)
+	}
+
+	// Session-level engine: every run inherits it.
+	info2, err := c.CreateSession(ctx, service.CreateSessionRequest{
+		Workload: "memcpy",
+		Options:  service.SessionOptions{Engine: "interp"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = c.Run(ctx, info2.ID, service.RunRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Engine != "interp" {
+		t.Fatalf("interp session ran on %q", rep.Engine)
+	}
+
+	// The per-engine run counters must account for the three runs.
+	snap := srv.Snapshot()
+	if bc, ip := snap["service.runs.engine.blockcache"], snap["service.runs.engine.interp"]; bc != 1 || ip != 2 {
+		t.Errorf("engine counters blockcache=%d interp=%d, want 1 and 2", bc, ip)
+	}
+	if snap["service.blockcache.translated"] <= 0 {
+		t.Error("service.blockcache.translated never moved")
+	}
+	if snap["service.blockcache.fallbacks"] != 0 {
+		t.Errorf("counted %d fallbacks, none expected", snap["service.blockcache.fallbacks"])
+	}
+}
+
+// TestEngineValidation: a bad engine selector is a 400 at every API
+// edge — session creation, retune, and run submission — never a
+// mid-execution error.
+func TestEngineValidation(t *testing.T) {
+	_, ts := newServer(t, service.Config{})
+	c := newClient(ts)
+	ctx := context.Background()
+
+	_, err := c.CreateSession(ctx, service.CreateSessionRequest{
+		Workload: "memcpy",
+		Options:  service.SessionOptions{Engine: "turbo"},
+	})
+	wantBadRequest(t, "create", err)
+
+	info, err := c.CreateSession(ctx, service.CreateSessionRequest{Workload: "memcpy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(ctx, info.ID, service.RunRequest{Engine: "turbo"})
+	wantBadRequest(t, "run", err)
+}
+
+func wantBadRequest(t *testing.T, stage string, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: bad engine accepted", stage)
+	}
+	var ae *service.APIError
+	if !errors.As(err, &ae) || ae.Code != http.StatusBadRequest {
+		t.Fatalf("%s: error %v, want a 400 APIError", stage, err)
+	}
+}

@@ -1,6 +1,7 @@
 package tmsim_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -17,7 +18,7 @@ func TestAnnotateSpan(t *testing.T) {
 	m := buildMachine(t, spinProgram("annotated", 100), config.TM3270(), nil)
 	tr := telemetry.NewTrace(0)
 	m.SetEventTrace(tr)
-	if err := m.Run(); err != nil {
+	if err := m.RunContext(context.Background()); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 

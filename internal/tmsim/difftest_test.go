@@ -1,6 +1,7 @@
 package tmsim_test
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -55,7 +56,7 @@ func runBoth(t *testing.T, p *prog.Program, target config.Target,
 	for v, val := range init {
 		m.SetReg(v, val)
 	}
-	if err := m.Run(); err != nil {
+	if err := m.RunContext(context.Background()); err != nil {
 		t.Fatalf("run on %s: %v", target.Name, err)
 	}
 
@@ -338,7 +339,7 @@ func TestTraceOutput(t *testing.T) {
 	var buf strings.Builder
 	m.Trace = &buf
 	m.TraceLimit = 10
-	if err := m.Run(); err != nil {
+	if err := m.RunContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

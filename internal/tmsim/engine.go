@@ -1,0 +1,74 @@
+package tmsim
+
+import (
+	"fmt"
+
+	"tm3270/internal/blockcache"
+)
+
+// Engine selects how a Machine executes loaded code. Both engines are
+// cycle-exact against each other — identical architectural results,
+// identical Stats including the per-cause stall split — so the choice
+// is purely a speed/observability trade (enforced by TestEnginesAgree
+// and the fast-vs-interp cosim gate in make check).
+type Engine int
+
+const (
+	// EngineBlockCache is the fast path and the default (zero value):
+	// straight-line packet regions are predecoded once into flat
+	// struct-of-arrays micro-op blocks (see internal/blockcache) and the
+	// cycle/stall model runs over the predecoded stream. Runs that arm
+	// instruction tracing, event traces or the cycle profile fall back
+	// to the interpreter automatically (counted in FallbackRuns).
+	EngineBlockCache Engine = iota
+
+	// EngineInterp walks the scheduled code directly, slot by slot.
+	// It supports every observability hook and is the reference the
+	// fast path is held to.
+	EngineInterp
+)
+
+// String returns the selector spelling accepted by ParseEngine.
+func (e Engine) String() string {
+	switch e {
+	case EngineBlockCache:
+		return "blockcache"
+	case EngineInterp:
+		return "interp"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// ParseEngine maps a selector string ("blockcache", "interp", or ""
+// for the default) to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "blockcache":
+		return EngineBlockCache, nil
+	case "interp":
+		return EngineInterp, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (want blockcache or interp)", s)
+	}
+}
+
+// fastUnsupported reports whether the run arms a feature the fast path
+// does not serve: instruction tracing, the structured event trace and
+// the per-PC cycle profile all want per-slot visibility that the
+// predecoded stream deliberately discards. InstrHook is supported (the
+// differential lockstep harness rides on it), as are traps, watchdog,
+// deadlines, cancellation and strict memory.
+func (m *Machine) fastUnsupported() bool {
+	return m.Trace != nil || m.Events != nil || m.Profile != nil
+}
+
+// BlockCacheStats returns the translation-cache counters of the last
+// (or in-progress) blockcache-engine run; zero if the fast path never
+// ran on this machine.
+func (m *Machine) BlockCacheStats() blockcache.Stats {
+	if m.bc == nil {
+		return blockcache.Stats{}
+	}
+	return m.bc.Stats
+}

@@ -1,0 +1,238 @@
+package tmsim_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"tm3270/internal/config"
+	"tm3270/internal/prog"
+	"tm3270/internal/tmsim"
+)
+
+func TestParseEngine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want tmsim.Engine
+	}{
+		{"", tmsim.EngineBlockCache},
+		{"blockcache", tmsim.EngineBlockCache},
+		{"interp", tmsim.EngineInterp},
+	}
+	for _, c := range cases {
+		got, err := tmsim.ParseEngine(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := tmsim.ParseEngine("fast"); err == nil {
+		t.Error("ParseEngine accepted an unknown selector")
+	}
+	if tmsim.EngineBlockCache.String() != "blockcache" || tmsim.EngineInterp.String() != "interp" {
+		t.Error("Engine.String does not round-trip the selector spellings")
+	}
+	var zero tmsim.Engine
+	if zero != tmsim.EngineBlockCache {
+		t.Error("the zero Engine is not the blockcache default")
+	}
+}
+
+// runBoth executes the program on both engines from identical initial
+// state and requires identical architectural results and identical
+// cycle/stall accounting. It returns the blockcache machine for
+// engine-specific assertions.
+func runBothEngines(t *testing.T, build func() *prog.Program, tgt config.Target,
+	setup func(*tmsim.Machine)) *tmsim.Machine {
+	t.Helper()
+	run := func(eng tmsim.Engine) *tmsim.Machine {
+		m := buildMachine(t, build(), tgt, nil)
+		m.Engine = eng
+		if setup != nil {
+			setup(m)
+		}
+		if err := m.RunContext(context.Background()); err != nil {
+			t.Fatalf("%v run: %v", eng, err)
+		}
+		if m.EngineUsed != eng {
+			t.Fatalf("EngineUsed = %v, want %v", m.EngineUsed, eng)
+		}
+		return m
+	}
+	ref := run(tmsim.EngineInterp)
+	fast := run(tmsim.EngineBlockCache)
+
+	if rs, fs := ref.RegSnapshot(), fast.RegSnapshot(); rs != fs {
+		for i := range rs {
+			if rs[i] != fs[i] {
+				t.Errorf("r%d = %#x (interp) vs %#x (blockcache)", i, rs[i], fs[i])
+			}
+		}
+	}
+	type split struct{ cycles, instrs, ops, fetch, jump, dmiss, dinfl, dcwb int64 }
+	stalls := func(m *tmsim.Machine) split {
+		s := &m.Stats
+		return split{s.Cycles, s.Instrs, s.Ops, s.FetchStalls, s.JumpStalls,
+			s.DataMissStalls, s.DataInFlightStalls, s.DataCWBStalls}
+	}
+	if rs, fs := stalls(ref), stalls(fast); rs != fs {
+		t.Errorf("stat split diverged:\n  interp     %+v\n  blockcache %+v", rs, fs)
+	}
+	return fast
+}
+
+// TestCrossBlockDelaySlotRedirect: a translated block ends at its
+// jump-carrying instruction by construction, so every taken loop
+// branch redirects out of one block while its delay slots execute at
+// the head of the next — the redirect state must survive the block
+// switch with the architectural results and the cycle/stall split
+// identical to the interpreter's.
+func TestCrossBlockDelaySlotRedirect(t *testing.T) {
+	build := func() *prog.Program {
+		b := prog.NewBuilder("crossblock")
+		i, cond, acc := b.Reg(), b.Reg(), b.Reg()
+		b.Imm(i, 0)
+		b.Imm(acc, 0)
+		b.Label("loop")
+		b.AddI(i, i, 1)
+		b.Add(acc, acc, i)
+		b.NeqI(cond, i, 300)
+		b.JmpT(cond, "loop")
+		b.AddI(acc, acc, 7) // tail: lives in the next block, runs in the delay window
+		return b.MustProgram()
+	}
+	for _, tgt := range []config.Target{config.TM3260(), config.TM3270()} {
+		fast := runBothEngines(t, build, tgt, nil)
+		bc := fast.BlockCacheStats()
+		if bc.Translated < 2 {
+			t.Errorf("%s: %d blocks translated, want >= 2 (loop + tail)", tgt.Name, bc.Translated)
+		}
+		if bc.Hits < 100 {
+			t.Errorf("%s: %d cache hits over 300 iterations, the loop is not reusing its block", tgt.Name, bc.Hits)
+		}
+	}
+}
+
+// TestSMCInvalidationDropsBlocks: a store landing in the encoded code
+// range must invalidate the overlapping translations — including the
+// block being executed — and the run must retranslate and complete
+// with results identical to the interpreter's.
+func TestSMCInvalidationDropsBlocks(t *testing.T) {
+	var base prog.VReg
+	build := func() *prog.Program {
+		b := prog.NewBuilder("smc")
+		i, cond, v := b.Reg(), b.Reg(), b.Reg()
+		base = b.Reg()
+		b.Imm(i, 0)
+		b.Imm(v, 0xdead)
+		b.Label("loop")
+		b.St32D(base, 0, v) // lands at CodeBase: self-modifying
+		b.AddI(i, i, 1)
+		b.NeqI(cond, i, 8)
+		b.JmpT(cond, "loop")
+		return b.MustProgram()
+	}
+	fast := runBothEngines(t, build, config.TM3270(), func(m *tmsim.Machine) {
+		m.SetReg(base, tmsim.CodeBase)
+	})
+	bc := fast.BlockCacheStats()
+	if bc.Invalidations == 0 {
+		t.Fatal("stores into the code range invalidated nothing")
+	}
+	if bc.Translated < 2 {
+		t.Errorf("%d translations after %d invalidations, dropped blocks never retranslated",
+			bc.Translated, bc.Invalidations)
+	}
+	// The stored word must actually be in memory at the code address
+	// (stores are big-endian: 0x0000dead ends with byte 0xad).
+	if got := fast.Mem.ByteAt(tmsim.CodeBase + 3); got != 0xad {
+		t.Errorf("code byte after SMC store = %#x, want 0xad", got)
+	}
+}
+
+func TestObservabilityFallsBackToInterp(t *testing.T) {
+	m := buildMachine(t, spinProgram("fallback", 50), config.TM3270(), nil)
+	var sb strings.Builder
+	m.Trace = &sb // tracing is interpreter-only
+	if err := m.RunContext(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m.EngineUsed != tmsim.EngineInterp {
+		t.Errorf("EngineUsed = %v, want interp fallback under tracing", m.EngineUsed)
+	}
+	if m.FallbackRuns != 1 {
+		t.Errorf("FallbackRuns = %d, want 1", m.FallbackRuns)
+	}
+	if bc := m.BlockCacheStats(); bc.Translated != 0 {
+		t.Errorf("fallback run still translated %d blocks", bc.Translated)
+	}
+
+	// An explicit interp selection is not a fallback.
+	m2 := buildMachine(t, spinProgram("explicit", 50), config.TM3270(), nil)
+	m2.Engine = tmsim.EngineInterp
+	if err := m2.RunContext(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m2.FallbackRuns != 0 {
+		t.Errorf("explicit interp counted %d fallbacks", m2.FallbackRuns)
+	}
+}
+
+// TestWatchdogParityMidBlock: the instruction-count watchdog must fire
+// at the same issue on both engines even when the limit lands in the
+// middle of a translated block.
+func TestWatchdogParityMidBlock(t *testing.T) {
+	for _, eng := range []tmsim.Engine{tmsim.EngineInterp, tmsim.EngineBlockCache} {
+		m := buildMachine(t, spinProgram("wd", 0), config.TM3270(), nil)
+		m.Engine = eng
+		m.MaxInstrs = 777 // deliberately not a block or poll boundary
+		trap := wantTrap(t, m, tmsim.TrapWatchdog)
+		if trap.Issue != 777 {
+			t.Errorf("%v: watchdog fired at issue %d, want 777", eng, trap.Issue)
+		}
+	}
+}
+
+func TestCancellationParity(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, eng := range []tmsim.Engine{tmsim.EngineInterp, tmsim.EngineBlockCache} {
+		m := buildMachine(t, spinProgram("cancel", 0), config.TM3270(), nil)
+		m.Engine = eng
+		m.MaxInstrs = 1 << 40
+		err := m.RunContext(ctx)
+		var trap *tmsim.TrapError
+		if !errors.As(err, &trap) || trap.Kind != tmsim.TrapCanceled {
+			t.Fatalf("%v: canceled run returned %v, want TrapCanceled", eng, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: trap does not unwrap to context.Canceled", eng)
+		}
+	}
+}
+
+// TestTrapParityMidBlock: a precise memory trap must surface
+// identically from the middle of a translated block.
+func TestTrapParityMidBlock(t *testing.T) {
+	build := func() *prog.Program {
+		b := prog.NewBuilder("trapmid")
+		a, v := b.Reg(), b.Reg()
+		b.Imm(a, 0x4000_0000)
+		b.AddI(a, a, 4)
+		b.Ld32D(v, a, 0) // strict mode: unmapped
+		b.St32D(a, 4, v)
+		return b.MustProgram()
+	}
+	var traps [2]*tmsim.TrapError
+	for i, eng := range []tmsim.Engine{tmsim.EngineInterp, tmsim.EngineBlockCache} {
+		m := buildMachine(t, build(), config.TM3270(), nil)
+		m.Engine = eng
+		m.StrictMem = true
+		traps[i] = wantTrap(t, m, tmsim.TrapUnmappedLoad)
+	}
+	if traps[0].Addr != traps[1].Addr || traps[0].Issue != traps[1].Issue || traps[0].Cycle != traps[1].Cycle {
+		t.Errorf("trap location diverged: interp addr=%#x issue=%d cycle=%d, blockcache addr=%#x issue=%d cycle=%d",
+			traps[0].Addr, traps[0].Issue, traps[0].Cycle,
+			traps[1].Addr, traps[1].Issue, traps[1].Cycle)
+	}
+}

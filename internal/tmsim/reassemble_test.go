@@ -1,6 +1,7 @@
 package tmsim_test
 
 import (
+	"context"
 	"testing"
 
 	"tm3270/internal/config"
@@ -47,7 +48,7 @@ func TestRunFromBinary(t *testing.T) {
 		for v, val := range w.Args {
 			m1.SetReg(v, val)
 		}
-		if err := m1.Run(); err != nil {
+		if err := m1.RunContext(context.Background()); err != nil {
 			t.Fatalf("%s direct: %v", name, err)
 		}
 
@@ -73,7 +74,7 @@ func TestRunFromBinary(t *testing.T) {
 		for v, val := range w.Args {
 			m2.SetReg(prog.VReg(rm.Reg(v)), val)
 		}
-		if err := m2.Run(); err != nil {
+		if err := m2.RunContext(context.Background()); err != nil {
 			t.Fatalf("%s from binary: %v", name, err)
 		}
 

@@ -17,6 +17,7 @@ import (
 	"io"
 	"time"
 
+	"tm3270/internal/blockcache"
 	"tm3270/internal/config"
 	"tm3270/internal/dcache"
 	"tm3270/internal/encode"
@@ -139,6 +140,21 @@ type Machine struct {
 	// Profile, when non-nil, attributes every cycle to its instruction
 	// index by cause (EnableProfile allocates it).
 	Profile *telemetry.Profile
+
+	// Engine selects the execution engine; the zero value is the
+	// blockcache fast path. See Engine for the fallback rules.
+	Engine Engine
+
+	// EngineUsed records the engine that actually executed the last
+	// RunContext (after any automatic fallback).
+	EngineUsed Engine
+
+	// FallbackRuns counts runs that requested the blockcache engine but
+	// fell back to the interpreter because an unsupported observability
+	// feature was armed.
+	FallbackRuns int64
+
+	bc *blockcache.Cache
 
 	rec   *recorder
 	curOp string // mnemonic of the memory op in flight (trap context)
@@ -281,17 +297,18 @@ func effAddr(op *prog.Op, src *[4]uint32) (uint32, int) {
 	}
 }
 
-// Run executes the loaded kernel to completion. Execution faults —
-// malformed memory accesses, control-flow violations, watchdog and
-// deadline expiry, and any internal panic of the simulator core — are
-// returned as a *TrapError carrying the PC, cycle, register dump and
-// the flight-recorder tail at the fault.
-func (m *Machine) Run() error { return m.RunContext(context.Background()) }
-
-// RunContext is Run with cooperative cancellation: the execution loop
-// polls ctx at the watchdog cadence (every 8192 issued instructions)
-// and aborts with a TrapCanceled whose Cause unwraps to ctx.Err(), so
-// callers can errors.Is against context.Canceled or DeadlineExceeded.
+// RunContext executes the loaded kernel to completion on the selected
+// Engine (the zero value is the blockcache fast path; a run arming an
+// observability feature the fast path cannot serve falls back to the
+// interpreter, recorded in EngineUsed and FallbackRuns). Execution
+// faults — malformed memory accesses, control-flow violations,
+// watchdog and deadline expiry, and any internal panic of the
+// simulator core — are returned as a *TrapError carrying the PC,
+// cycle, register dump and the flight-recorder tail at the fault.
+// The loop polls ctx at the watchdog cadence (every 8192 issued
+// instructions) and aborts with a TrapCanceled whose Cause unwraps to
+// ctx.Err(), so callers can errors.Is against context.Canceled or
+// DeadlineExceeded.
 func (m *Machine) RunContext(ctx context.Context) (err error) {
 	m.rec = newRecorder(m.RecorderDepth)
 	defer func() {
@@ -317,6 +334,22 @@ func (m *Machine) RunContext(ctx context.Context) (err error) {
 		err = t
 	}()
 
+	eng := m.Engine
+	if eng == EngineBlockCache && m.fastUnsupported() {
+		m.FallbackRuns++
+		eng = EngineInterp
+	}
+	m.EngineUsed = eng
+	if eng == EngineBlockCache {
+		return m.runFast(ctx)
+	}
+	return m.runInterp(ctx)
+}
+
+// runInterp is the reference execution loop: it walks the scheduled
+// code slot by slot, serving every observability hook. The recover
+// boundary lives in RunContext.
+func (m *Machine) runInterp(ctx context.Context) error {
 	maxInstrs := m.MaxInstrs
 	if maxInstrs == 0 {
 		maxInstrs = 2_000_000_000

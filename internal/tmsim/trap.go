@@ -186,7 +186,10 @@ func newRecorder(depth int) *recorder {
 
 func (r *recorder) record(cycle, issue int64, idx int) {
 	r.buf[r.head] = recEntry{cycle: cycle, issue: issue, idx: idx}
-	r.head = (r.head + 1) % len(r.buf)
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
 	if r.n < len(r.buf) {
 		r.n++
 	}

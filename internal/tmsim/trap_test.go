@@ -1,6 +1,7 @@
 package tmsim_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -39,7 +40,7 @@ func buildMachine(t *testing.T, p *prog.Program, tgt config.Target, image *mem.F
 // wantTrap runs the machine and requires a TrapError of the given kind.
 func wantTrap(t *testing.T, m *tmsim.Machine, kind tmsim.TrapKind) *tmsim.TrapError {
 	t.Helper()
-	err := m.Run()
+	err := m.RunContext(context.Background())
 	if err == nil {
 		t.Fatalf("run succeeded, want %v trap", kind)
 	}
@@ -99,7 +100,7 @@ func TestStrictMappedLoadRuns(t *testing.T) {
 	m := buildMachine(t, p, config.TM3270(), image)
 	m.StrictMem = true
 	m.SetReg(base, 0x2000)
-	if err := m.Run(); err != nil {
+	if err := m.RunContext(context.Background()); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if got := image.Load(0x2004, 4); got != 0xdeadbeef {

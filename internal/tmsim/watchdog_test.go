@@ -1,6 +1,7 @@
 package tmsim_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestMaxInstrsWatchdogTraps(t *testing.T) {
 func TestWatchdogNotTriggeredByNormalRun(t *testing.T) {
 	m := buildMachine(t, spinProgram("bounded", 100), config.TM3270(), nil)
 	m.MaxInstrs = 100_000
-	if err := m.Run(); err != nil {
+	if err := m.RunContext(context.Background()); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if m.Stats.Instrs >= 100_000 {
@@ -52,7 +53,7 @@ func TestTraceEmitsRecords(t *testing.T) {
 	var sb strings.Builder
 	m.Trace = &sb
 	m.TraceLimit = 10
-	if err := m.Run(); err != nil {
+	if err := m.RunContext(context.Background()); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
@@ -75,7 +76,7 @@ func TestTraceDefaultLimit(t *testing.T) {
 	m := buildMachine(t, spinProgram("traced_default", 1000), config.TM3270(), nil)
 	var sb strings.Builder
 	m.Trace = &sb
-	if err := m.Run(); err != nil {
+	if err := m.RunContext(context.Background()); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
@@ -89,7 +90,7 @@ func TestTraceDefaultLimit(t *testing.T) {
 
 func TestTraceDisabledByDefault(t *testing.T) {
 	m := buildMachine(t, spinProgram("untraced", 50), config.TM3270(), nil)
-	if err := m.Run(); err != nil {
+	if err := m.RunContext(context.Background()); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package workloads_test
 
 import (
+	"context"
 	"testing"
 
 	"tm3270/internal/config"
@@ -59,7 +60,7 @@ func runOn(t *testing.T, w *workloads.Spec, tgt config.Target) *tmsim.Machine {
 	for v, val := range w.Args {
 		m.SetReg(v, val)
 	}
-	if err := m.Run(); err != nil {
+	if err := m.RunContext(context.Background()); err != nil {
 		t.Fatalf("%s on %s: run: %v", w.Name, tgt.Name, err)
 	}
 	if err := w.Check(image); err != nil {

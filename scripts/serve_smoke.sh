@@ -1,9 +1,12 @@
 #!/bin/sh
 # serve_smoke.sh: end-to-end service gate. Boots tm3270d on an
 # ephemeral port, drives it with tm3270load (which asserts zero 5xx,
-# zero failed requests, and — via -check-metrics — that /metrics serves
-# well-formed histograms whose per-stage bucket sums equal the
-# admitted-run count), then SIGTERMs the daemon and asserts the drain
+# zero failed requests, that every ok reply names the block-cache
+# engine and carries its translation counters, and — via -check-metrics
+# — that /metrics serves well-formed histograms whose per-stage bucket
+# sums equal the admitted-run count and per-engine run counters that
+# account for every admitted run), then SIGTERMs the daemon and asserts
+# the drain
 # completed cleanly with every in-flight response delivered
 # (admitted == completed in the final counter flush). The observability
 # plumbing is gated too: the exported span trace must hold real span
