@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench campaign cosim cover bench-json bench-par lint tmvet binlint serve-smoke
+.PHONY: check build vet test race fuzz bench campaign cosim cover bench-json bench-par lint tmvet binlint serve-smoke campaign-smoke
 
 # Tier-1 gate: lint (vet + tmvet + gofmt), the full test suite under the
 # race detector (includes the concurrent-runner and batch determinism
@@ -10,10 +10,12 @@ GO ?= go
 # (zero divergences against the reference model transitively proves the
 # block-cache fast path and the interpreter agree on every covered
 # program), the machine-readable quick bench (written and
-# schema-checked), the serial-vs-parallel byte-identity proof, and the
+# schema-checked), the serial-vs-parallel byte-identity proof, the
 # live-daemon smoke (boot tm3270d, drive load, assert zero 5xx and a
-# clean SIGTERM drain).
-check: lint race cover cosim bench-json bench-par serve-smoke
+# clean SIGTERM drain), and the campaign kill/resume smoke (shard a
+# cosim campaign, SIGKILL one shard mid-run, resume, and byte-compare
+# the merged aggregate against an unsharded run).
+check: lint race cover cosim bench-json bench-par serve-smoke campaign-smoke
 
 build:
 	$(GO) build ./...
@@ -92,3 +94,10 @@ bench-par:
 # dropped in-flight responses.
 serve-smoke:
 	GO=$(GO) sh scripts/serve_smoke.sh
+
+# campaign-smoke: the campaign engine's durability contract, end to
+# end — a sharded cosim campaign with one shard SIGKILLed mid-run must
+# resume from its store and the merged aggregate must be byte-identical
+# to an unsharded run of the same matrix.
+campaign-smoke:
+	GO=$(GO) sh scripts/campaign_smoke.sh

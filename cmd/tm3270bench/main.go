@@ -163,6 +163,16 @@ func main() {
 				return err
 			}
 			dres.PrintSummary(os.Stdout)
+			// Finally the full matrix: every mutant differentially executed
+			// under multiple machine seeds (randomized initial register and
+			// memory state), which strips the masking a single fixed
+			// initial state offers.
+			fmt.Println()
+			mres, err := faults.RunMatrixCampaign(faults.MatrixConfig{})
+			if err != nil {
+				return err
+			}
+			mres.PrintSummary(os.Stdout)
 			return nil
 		})
 	}

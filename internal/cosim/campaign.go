@@ -1,11 +1,32 @@
 package cosim
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
+	"strings"
 
+	"tm3270/internal/campaign"
 	"tm3270/internal/config"
 	"tm3270/internal/workloads"
+)
+
+// Unit kinds of the conformance campaign matrix.
+const (
+	KindWorkload  = "cosim-wl"  // one shipped workload on one target
+	KindGenerated = "cosim-gen" // one generated program on one target
+)
+
+// Status values recorded for cosim units. Divergent units carry the
+// divergence kind in the status ("divergent:reg", "divergent:trap",
+// "divergent:lockstep-reg", ...), so a campaign aggregate breaks
+// divergences down by kind for free.
+const (
+	StatusOK        = "ok"
+	StatusSkipped   = "skipped"
+	statusDivergent = "divergent:" // prefix
 )
 
 // CampaignConfig scales a conformance campaign.
@@ -20,6 +41,21 @@ type CampaignConfig struct {
 	Targets []config.Target
 	// Opts applies to every run.
 	Opts Options
+	// LockstepEvery sample-gates intermediate-state diffing: every Nth
+	// generated unit runs with the per-instruction register diff armed
+	// (see Options.Lockstep). 0 selects the default of every 16th
+	// unit; negative disables sampling.
+	LockstepEvery int
+	// Workers bounds the worker pool (<=0 = GOMAXPROCS).
+	Workers int
+	// Store persists unit results for resume and sharding (optional).
+	Store *campaign.Store
+	// Shard selects this process's slice of the matrix (zero = all).
+	Shard campaign.Shard
+	// Counters receives campaign.* telemetry (optional).
+	Counters *campaign.Counters
+	// Progress is forwarded to the engine (optional).
+	Progress func(done, total, cached int)
 }
 
 func (c *CampaignConfig) fill() {
@@ -38,6 +74,125 @@ func (c *CampaignConfig) fill() {
 			config.ConfigA(), config.ConfigB(), config.ConfigC(), config.ConfigD(),
 		}
 	}
+	if c.LockstepEvery == 0 {
+		c.LockstepEvery = 16
+	}
+}
+
+// Spec is the campaign fingerprint a store directory is bound to: the
+// knobs that change unit results without appearing in the unit specs
+// themselves. Seeds and targets are deliberately excluded — growing a
+// stored campaign to more programs or targets reuses every completed
+// unit.
+func (c *CampaignConfig) Spec() string {
+	c.fill()
+	ph := sha256.Sum256([]byte(fmt.Sprintf("%+v", *c.Params)))
+	return fmt.Sprintf("cosim params=%s strict=%v", hex.EncodeToString(ph[:6]), c.Opts.StrictMem)
+}
+
+// UnitMatrix enumerates the campaign's deterministic work-unit matrix:
+// every shipped workload on every target, then Seeds generated
+// programs per target, with every LockstepEvery'th generated unit
+// sample-gated into lockstep mode.
+func (c *CampaignConfig) UnitMatrix() []campaign.Unit {
+	c.fill()
+	eng := c.Opts.Engine.String()
+	var units []campaign.Unit
+	for _, name := range workloads.Names() {
+		for i := range c.Targets {
+			units = append(units, campaign.Unit{
+				Kind: KindWorkload, Name: name, Target: c.Targets[i].Name, Engine: eng,
+			})
+		}
+	}
+	n := 0
+	for seed := int64(1); seed <= int64(c.Seeds); seed++ {
+		for i := range c.Targets {
+			u := campaign.Unit{
+				Kind: KindGenerated, Seed: seed, Ops: c.GenOps,
+				Target: c.Targets[i].Name, Engine: eng,
+			}
+			if c.LockstepEvery > 0 && n%c.LockstepEvery == 0 {
+				u.Lockstep = true
+			}
+			n++
+			units = append(units, u)
+		}
+	}
+	return units
+}
+
+// unitRunner executes campaign units; its target map is immutable
+// after construction, so Run is safe for concurrent workers.
+type unitRunner struct {
+	cfg     *CampaignConfig
+	targets map[string]*config.Target
+}
+
+func newUnitRunner(cfg *CampaignConfig) *unitRunner {
+	r := &unitRunner{cfg: cfg, targets: make(map[string]*config.Target, len(cfg.Targets))}
+	for i := range cfg.Targets {
+		r.targets[cfg.Targets[i].Name] = &cfg.Targets[i]
+	}
+	return r
+}
+
+// Run executes one unit. The context is accepted for interface
+// symmetry; individual runs are short and bounded by the models'
+// watchdogs, so cancellation takes effect between units.
+func (r *unitRunner) Run(ctx context.Context, u campaign.Unit) (campaign.Result, error) {
+	t, ok := r.targets[u.Target]
+	if !ok {
+		return campaign.Result{}, fmt.Errorf("unknown target %q", u.Target)
+	}
+	opts := r.cfg.Opts
+	opts.Lockstep = u.Lockstep
+	var res *Result
+	var err error
+	switch u.Kind {
+	case KindWorkload:
+		var w *workloads.Spec
+		w, err = workloads.ByName(u.Name, *r.cfg.Params)
+		if err == nil {
+			res, err = RunWorkload(w, *t, opts)
+		}
+	case KindGenerated:
+		res, err = RunGenerated(u.Seed, *t, u.Ops, opts)
+	default:
+		err = fmt.Errorf("unknown unit kind %q", u.Kind)
+	}
+	if err != nil {
+		return campaign.Result{}, err
+	}
+	if res == nil {
+		return campaign.Result{Status: StatusSkipped}, nil
+	}
+	return storedResult(res), nil
+}
+
+// storedResult flattens a cosim result into the campaign record form.
+// The divergence kind rides in the status and the detail keeps the
+// full rendered context, so fromStored reconstructs the exact report
+// line.
+func storedResult(res *Result) campaign.Result {
+	out := campaign.Result{Status: StatusOK, Instrs: res.Instrs}
+	if res.Div != nil {
+		out.Status = statusDivergent + res.Div.Kind
+		out.Detail = strings.TrimPrefix(res.Div.String(), res.Div.Kind+": ")
+		out.Bad = true
+	}
+	return out
+}
+
+// fromStored rebuilds a reportable divergent Result from its campaign
+// record.
+func fromStored(u campaign.Unit, r campaign.Result) *Result {
+	name := u.Name
+	if u.Kind == KindGenerated {
+		name = fmt.Sprintf("gen%d", u.Seed)
+	}
+	return &Result{Name: name, Target: u.Target, Instrs: r.Instrs,
+		Div: &Divergence{Kind: strings.TrimPrefix(r.Status, statusDivergent), Detail: r.Detail}}
 }
 
 // Campaign aggregates a conformance sweep: every shipped workload and
@@ -46,57 +201,67 @@ type Campaign struct {
 	Workloads int   // workload/target pairs co-simulated (schedule skips excluded)
 	Skipped   int   // workload/target pairs the target cannot schedule
 	Generated int   // generated program runs
+	Lockstep  int   // units that ran with intermediate-state diffing armed
 	Instrs    int64 // total instructions retired by the pipeline model
 	Divergent []*Result
+
+	// Aggregate is the engine's deterministic reduction (the artifact
+	// sharded campaigns byte-compare); Stats the run-dependent totals.
+	Aggregate *campaign.Aggregate
+	Stats     campaign.Stats
 }
 
-// RunCampaign executes the sweep. Divergences are collected, not
-// returned as errors; harness failures (compile errors, init failures)
-// abort immediately.
+// RunCampaign executes the sweep on the campaign engine. Divergences
+// are collected, not returned as errors; harness failures (compile
+// errors, init failures) abort immediately.
 func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
+	return RunCampaignContext(context.Background(), cfg)
+}
+
+// RunCampaignContext is RunCampaign with cooperative cancellation: a
+// canceled campaign stops dispatching units and returns the context's
+// error, leaving any store resumable.
+func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*Campaign, error) {
 	cfg.fill()
+	units := cfg.UnitMatrix()
+	r := newUnitRunner(&cfg)
 	out := &Campaign{}
-	for _, name := range workloads.Names() {
-		w, err := workloads.ByName(name, *cfg.Params)
-		if err != nil {
-			return nil, err
-		}
-		for i := range cfg.Targets {
-			res, err := RunWorkload(w, cfg.Targets[i], cfg.Opts)
-			if err != nil {
-				return nil, err
-			}
-			if res == nil {
+	o, err := campaign.Run(ctx, campaign.Config{
+		Workers:  cfg.Workers,
+		Store:    cfg.Store,
+		Shard:    cfg.Shard,
+		Counters: cfg.Counters,
+		Progress: cfg.Progress,
+		Reduce: func(i int, u campaign.Unit, res campaign.Result) {
+			switch {
+			case res.Status == StatusSkipped:
 				out.Skipped++
-				continue
+			case u.Kind == KindWorkload:
+				out.Workloads++
+			default:
+				out.Generated++
 			}
-			out.Workloads++
+			if u.Lockstep {
+				out.Lockstep++
+			}
 			out.Instrs += res.Instrs
-			if res.Div != nil {
-				out.Divergent = append(out.Divergent, res)
+			if res.Bad {
+				out.Divergent = append(out.Divergent, fromStored(u, res))
 			}
-		}
+		},
+	}, units, r.Run)
+	if err != nil {
+		return nil, err
 	}
-	for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
-		for i := range cfg.Targets {
-			res, err := RunGenerated(seed, cfg.Targets[i], cfg.GenOps, cfg.Opts)
-			if err != nil {
-				return nil, err
-			}
-			out.Generated++
-			out.Instrs += res.Instrs
-			if res.Div != nil {
-				out.Divergent = append(out.Divergent, res)
-			}
-		}
-	}
+	out.Aggregate = o.Aggregate
+	out.Stats = o.Stats
 	return out, nil
 }
 
 // PrintSummary writes the campaign outcome in the bench tool's format.
 func (c *Campaign) PrintSummary(w io.Writer) {
-	fmt.Fprintf(w, "cosim: %d workload runs (%d skipped), %d generated runs, %d instructions\n",
-		c.Workloads, c.Skipped, c.Generated, c.Instrs)
+	fmt.Fprintf(w, "cosim: %d workload runs (%d skipped), %d generated runs (%d in lockstep), %d instructions\n",
+		c.Workloads, c.Skipped, c.Generated, c.Lockstep, c.Instrs)
 	if len(c.Divergent) == 0 {
 		fmt.Fprintf(w, "cosim: zero divergences\n")
 		return

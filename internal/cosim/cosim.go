@@ -50,6 +50,13 @@ type Options struct {
 	// conforms to — including the lockstep rerun, which rides the
 	// fast path's InstrHook support.
 	Engine tmsim.Engine
+	// Lockstep diffs intermediate state in the bulk pass itself: the
+	// run executes once with the per-instruction hook armed, checking
+	// the full register file at every instruction boundary and the
+	// final state afterwards. It catches transient divergences that
+	// cancel out before the end of the program, at roughly the cost of
+	// the hook per instruction — campaigns sample-gate it.
+	Lockstep bool
 }
 
 // Divergence describes the first observed disagreement between the two
@@ -67,7 +74,8 @@ type Divergence struct {
 
 func (d *Divergence) String() string {
 	s := d.Kind + ": " + d.Detail
-	if d.Kind == "lockstep-flow" || d.Kind == "lockstep-reg" {
+	if (d.Kind == "lockstep-flow" || d.Kind == "lockstep-reg") &&
+		(d.Issue != 0 || d.Cycle != 0 || d.PC != 0) {
 		s += fmt.Sprintf(" (issue %d, cycle %d, pc %#x)", d.Issue, d.Cycle, d.PC)
 	}
 	return s
@@ -166,14 +174,9 @@ func (r *run) newSim() *tmsim.Machine {
 	return runner.Load(r.art, image).Machine
 }
 
-func (r *run) execute(opts Options) (*Result, error) {
-	res := &Result{Name: r.name, Target: r.t.Name}
-
-	dec, err := encode.Decode(r.art.Enc.Bytes, tmsim.CodeBase, len(r.art.Code.Instrs))
-	if err != nil {
-		return nil, fmt.Errorf("%s on %s: image does not decode: %w", r.name, r.t.Name, err)
-	}
-
+// newPair builds a fresh (pipeline, reference) machine pair over the
+// decoded stream with the run's options and entry arguments applied.
+func (r *run) newPair(dec []encode.DecInstr, opts Options) (*tmsim.Machine, *refmodel.Machine) {
 	sim := r.newSim()
 	refImage := refmodel.NewMem()
 	if r.init != nil {
@@ -187,7 +190,35 @@ func (r *run) execute(opts Options) (*Result, error) {
 		sim.SetPhysReg(reg, v)
 		ref.SetReg(reg, v)
 	}
+	return sim, ref
+}
 
+func (r *run) execute(opts Options) (*Result, error) {
+	res := &Result{Name: r.name, Target: r.t.Name}
+
+	dec, err := encode.Decode(r.art.Enc.Bytes, tmsim.CodeBase, len(r.art.Code.Instrs))
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: image does not decode: %w", r.name, r.t.Name, err)
+	}
+
+	if opts.Lockstep {
+		// Single-pass intermediate-state diffing: the per-instruction
+		// hook checks the register file at every boundary while the run
+		// proceeds, then the final state is diffed as usual. The
+		// reference model is run to completion first — stepping it the
+		// rest of the way is exactly what its own Run loop would do.
+		sim, ref := r.newPair(dec, opts)
+		div, simErr := lockstepRun(sim, ref, dec)
+		refTrap := ref.Run()
+		res.Instrs = sim.Stats.Instrs
+		if div == nil {
+			div = diffFinal(sim, simErr, ref, refTrap, &r.t)
+		}
+		res.Div = div
+		return res, nil
+	}
+
+	sim, ref := r.newPair(dec, opts)
 	simErr := sim.RunContext(context.Background())
 	refTrap := ref.Run()
 	res.Instrs = sim.Stats.Instrs
@@ -273,20 +304,18 @@ func diffMem(f *mem.Func, r *refmodel.Mem) *Divergence {
 // the first divergent boundary. It returns nil when the rerun sees no
 // boundary-level divergence (the final-state diff stands on its own).
 func (r *run) lockstep(dec []encode.DecInstr, opts Options) *Divergence {
-	sim := r.newSim()
-	refImage := refmodel.NewMem()
-	if r.init != nil {
-		refImage = copyImage(r.init)
-	}
-	ref := refmodel.New(dec, r.t, refImage)
-	sim.MaxInstrs, ref.MaxInstrs = opts.MaxInstrs, opts.MaxInstrs
-	sim.StrictMem, ref.StrictMem = opts.StrictMem, opts.StrictMem
-	sim.Engine = opts.Engine
-	for reg, v := range r.args {
-		sim.SetPhysReg(reg, v)
-		ref.SetReg(reg, v)
-	}
+	sim, ref := r.newPair(dec, opts)
+	div, _ := lockstepRun(sim, ref, dec)
+	return div
+}
 
+// lockstepRun drives the pipeline model with the per-instruction hook
+// armed, stepping the reference model alongside and diffing the full
+// register file at every instruction boundary. It returns the first
+// boundary divergence (nil if none) and the pipeline model's run
+// error. The reference model is left wherever the pipeline model
+// stopped feeding it.
+func lockstepRun(sim *tmsim.Machine, ref *refmodel.Machine, dec []encode.DecInstr) (*Divergence, error) {
 	var div *Divergence
 	sim.InstrHook = func(cycle, issue int64, idx int) {
 		if div != nil {
@@ -311,8 +340,8 @@ func (r *run) lockstep(dec []encode.DecInstr, opts Options) *Divergence {
 		}
 		ref.Step()
 	}
-	_ = sim.RunContext(context.Background())
-	return div
+	err := sim.RunContext(context.Background())
+	return div, err
 }
 
 // RunWorkload co-simulates one workload on one target. A target that

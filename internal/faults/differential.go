@@ -3,17 +3,10 @@ package faults
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
-	"tm3270/internal/binverify"
-	"tm3270/internal/encode"
 	"tm3270/internal/isa"
-	"tm3270/internal/mem"
+	"tm3270/internal/prefetch"
 	"tm3270/internal/refmodel"
-	"tm3270/internal/regalloc"
-	"tm3270/internal/sched"
-	"tm3270/internal/tmsim"
-	"tm3270/internal/workloads"
 )
 
 // DiffRow aggregates one workload's mutants: the static classification
@@ -105,107 +98,45 @@ func RunDifferentialCampaign(cfg StaticConfig, w io.Writer) (*DiffResult, error)
 	return res, nil
 }
 
-// golden is the reference-model outcome of the pristine binary.
+// golden is the reference-model outcome of the pristine binary. The
+// prefetch MMIO bank is architected state (software reads it back), so
+// it is part of the diffed outcome — mutants that misconfigure the
+// prefetcher are corruptions even though no load or store moves.
 type golden struct {
 	issue int64
 	regs  [isa.NumRegs]uint32
 	mem   *refmodel.Mem
+	mmio  [prefetch.NumRegions][3]uint32
+}
+
+// budget bounds a mutant run well past the golden instruction count;
+// hitting it is itself a detectable difference, since the golden run
+// terminates without tripping the watchdog.
+func (g *golden) budget() int64 {
+	return 4*g.issue + 10_000
 }
 
 func diffOne(name string, cfg StaticConfig) (*DiffRow, error) {
-	w, err := workloads.ByName(name, *cfg.Params)
+	mt, err := newMutTarget(name, &cfg)
 	if err != nil {
 		return nil, err
 	}
-	code, err := sched.Schedule(w.Prog, *cfg.Target)
+	gold, err := mt.goldenRun(cfg.Target, 0)
 	if err != nil {
 		return nil, err
-	}
-	rm, err := regalloc.Allocate(w.Prog)
-	if err != nil {
-		return nil, err
-	}
-	enc, err := encode.Encode(code, rm, tmsim.CodeBase)
-	if err != nil {
-		return nil, err
-	}
-	n := len(code.Instrs)
-	baseline, err := encode.Decode(enc.Bytes, tmsim.CodeBase, n)
-	if err != nil {
-		return nil, fmt.Errorf("baseline decode: %w", err)
-	}
-	// Mirror the static campaign's full semantic options exactly: the
-	// differential pass only examines the static verifier's leftovers,
-	// so the two classifications must be byte-identical.
-	opts := &binverify.Options{EntryValues: map[isa.Reg]uint32{}, MemMap: w.Regions}
-	for v, val := range w.Args {
-		opts.EntryDefined = append(opts.EntryDefined, rm.Reg(v))
-		opts.EntryValues[rm.Reg(v)] = val
-	}
-	if len(w.Prog.LoopBounds) > 0 {
-		opts.LoopBounds = map[uint32]int{}
-		for label, bound := range w.Prog.LoopBounds {
-			if idx, ok := code.Labels[label]; ok {
-				opts.LoopBounds[enc.Addr[idx]] = bound
-			}
-		}
-	}
-	if rep := binverify.Verify(baseline, cfg.Target, opts); !rep.Clean() {
-		return nil, fmt.Errorf("baseline image is not verifier-clean (%d diagnostics)", len(rep.Diags))
 	}
 
-	initImage := mem.NewFunc()
-	if w.Init != nil {
-		if err := w.Init(initImage); err != nil {
-			return nil, fmt.Errorf("init: %w", err)
-		}
-	}
-	newRef := func(dec []encode.DecInstr) *refmodel.Machine {
-		image := refmodel.NewMem()
-		for _, pa := range initImage.PageAddrs() {
-			image.WriteBytes(pa, initImage.ReadBytes(pa, 1<<12))
-		}
-		ref := refmodel.New(dec, *cfg.Target, image)
-		for v, val := range w.Args {
-			ref.SetReg(rm.Reg(v), val)
-		}
-		return ref
-	}
-
-	ref := newRef(baseline)
-	if t := ref.Run(); t != nil {
-		return nil, fmt.Errorf("golden run trapped: %v", t)
-	}
-	gold := &golden{issue: ref.Issue(), regs: ref.Regs(), mem: ref.Mem}
-	// Mutants that wander into long loops are cut off well past the
-	// golden instruction count; hitting the watchdog is itself a
-	// detectable difference from the golden (trap-free) run.
-	budget := 4*gold.issue + 10_000
-
-	row := &DiffRow{Workload: name, Bytes: len(enc.Bytes), Mutants: cfg.Mutants}
-	img := make([]byte, len(enc.Bytes))
+	row := &DiffRow{Workload: name, Bytes: len(mt.enc), Mutants: cfg.Mutants}
+	img := make([]byte, len(mt.enc))
 	for seed := int64(1); seed <= int64(cfg.Mutants); seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		copy(img, enc.Bytes)
-		bit := rng.Intn(len(img) * 8)
-		img[bit/8] ^= 1 << (bit % 8)
-
-		dec, err := encode.Decode(img, tmsim.CodeBase, n)
-		switch {
-		case err != nil:
-			row.Static[StaticRejected]++
-			continue
-		case streamsEqual(dec, baseline):
-			row.Static[StaticMasked]++
-			continue
-		case !binverify.Verify(dec, cfg.Target, opts).Clean():
-			row.Static[StaticFlagged]++
+		mt.mutate(seed, img)
+		o, dec := mt.classify(img, cfg.Target)
+		row.Static[o]++
+		if o != StaticMissed {
 			continue
 		}
-		row.Static[StaticMissed]++
-
-		mut := newRef(dec)
-		mut.MaxInstrs = budget
+		mut := mt.newRef(dec, cfg.Target, 0)
+		mut.MaxInstrs = gold.budget()
 		if diffDetects(mut, gold) {
 			row.Detected++
 		} else {
@@ -225,6 +156,9 @@ func diffDetects(mut *refmodel.Machine, gold *golden) bool {
 		return true
 	}
 	if mut.Regs() != gold.regs {
+		return true
+	}
+	if mut.MMIORegs() != gold.mmio {
 		return true
 	}
 	return !memEqual(mut.Mem, gold.mem)

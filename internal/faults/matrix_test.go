@@ -1,0 +1,99 @@
+package faults_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"tm3270/internal/campaign"
+	"tm3270/internal/faults"
+)
+
+// TestMatrixCampaign runs the full mutant × machine-seed matrix and
+// asserts the headline properties: the static classification agrees
+// with the static-only campaign, every seed partitions the missed
+// mutants into detected + silent, and the combined multi-seed rate is
+// at least the baseline seed's rate.
+func TestMatrixCampaign(t *testing.T) {
+	res, err := faults.RunMatrixCampaign(faults.MatrixConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := faults.RunStaticCampaign(faults.StaticConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := faults.StaticRejected; o <= faults.StaticMissed; o++ {
+		if got, want := res.Static[o], ref.Count(o); got != want {
+			t.Errorf("static %v: matrix counted %d, static campaign %d", o, got, want)
+		}
+	}
+	missed := res.Static[faults.StaticMissed]
+	if len(res.Seeds) != res.MSeeds {
+		t.Fatalf("%d seed rows, want %d", len(res.Seeds), res.MSeeds)
+	}
+	var baseline float64
+	for _, s := range res.Seeds {
+		if s.Detected+s.Silent != missed {
+			t.Errorf("seed %d: detected %d + silent %d != missed %d",
+				s.MSeed, s.Detected, s.Silent, missed)
+		}
+		if s.MSeed == 0 && missed > 0 {
+			baseline = float64(s.Detected) / float64(missed)
+		}
+	}
+	if res.Combined < int(baseline*float64(missed)) {
+		t.Errorf("combined %d below baseline seed's %d", res.Combined, int(baseline*float64(missed)))
+	}
+	if res.Combined+len(res.Silent) != missed {
+		t.Errorf("combined %d + silent %d != missed %d", res.Combined, len(res.Silent), missed)
+	}
+	// The acceptance bar: multi-seed differential detection >= 99% of
+	// decodable stream-changing mutants, silent mutants enumerated.
+	if rate := res.CombinedRate(); rate < 0.99 {
+		t.Errorf("combined detection rate %.3f below 0.99 (silent: %v)", rate, res.Silent)
+	}
+}
+
+// TestMatrixResumeByteIdentical kills nothing but proves the store
+// contract on the mutant matrix: a fresh run into a store and a pure
+// cache-read re-run produce byte-identical aggregates.
+func TestMatrixResumeByteIdentical(t *testing.T) {
+	cfg := faults.MatrixConfig{
+		Static: faults.StaticConfig{Workloads: []string{"memset"}, Mutants: 16},
+		MSeeds: 2,
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	runOnce := func() (*faults.MatrixResult, []byte) {
+		st, err := campaign.Open(dir, campaign.Shard{}.Label(), cfg.Spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		c := cfg
+		c.Store = st
+		res, err := faults.RunMatrixCampaign(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := res.Aggregate.MarshalJSONDeterministic()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, b
+	}
+	fresh, fb := runOnce()
+	if fresh.Stats.Executed == 0 {
+		t.Fatal("fresh run executed no units")
+	}
+	resumed, rb := runOnce()
+	if resumed.Stats.Executed != 0 {
+		t.Errorf("resumed run executed %d units, want pure cache read", resumed.Stats.Executed)
+	}
+	if resumed.Stats.Cached != fresh.Stats.Total {
+		t.Errorf("resumed run cached %d of %d units", resumed.Stats.Cached, fresh.Stats.Total)
+	}
+	if !bytes.Equal(fb, rb) {
+		t.Errorf("aggregates differ:\nfresh:\n%s\nresumed:\n%s", fb, rb)
+	}
+}

@@ -1,0 +1,175 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tm3270/internal/binverify"
+	"tm3270/internal/config"
+	"tm3270/internal/encode"
+	"tm3270/internal/isa"
+	"tm3270/internal/mem"
+	"tm3270/internal/prefetch"
+	"tm3270/internal/refmodel"
+	"tm3270/internal/regalloc"
+	"tm3270/internal/sched"
+	"tm3270/internal/tmsim"
+	"tm3270/internal/workloads"
+)
+
+// mutTarget is one workload prepared for image-mutation campaigns: the
+// encoded golden image, its decoded baseline stream, the binverify
+// semantic contract, and the initial memory image. The static, the
+// differential and the matrix campaigns all classify mutants against
+// the same prepared target, so their static classifications are
+// byte-identical by construction.
+type mutTarget struct {
+	w        *workloads.Spec
+	rm       *regalloc.Map
+	enc      []byte // encoded golden image
+	n        int    // instruction count
+	baseline []encode.DecInstr
+	opts     *binverify.Options
+	init     *mem.Func          // initial memory image (Init applied)
+	args     map[isa.Reg]uint32 // physical entry arguments
+	argSet   map[isa.Reg]bool   // registers carrying entry arguments
+}
+
+// newMutTarget compiles and verifies the workload's golden image. The
+// baseline must be verifier-clean so every diagnostic on a mutant is
+// attributable to the flip.
+func newMutTarget(name string, cfg *StaticConfig) (*mutTarget, error) {
+	w, err := workloads.ByName(name, *cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	code, err := sched.Schedule(w.Prog, *cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+	rm, err := regalloc.Allocate(w.Prog)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := encode.Encode(code, rm, tmsim.CodeBase)
+	if err != nil {
+		return nil, err
+	}
+	n := len(code.Instrs)
+	baseline, err := encode.Decode(enc.Bytes, tmsim.CodeBase, n)
+	if err != nil {
+		return nil, fmt.Errorf("baseline decode: %w", err)
+	}
+	// The full semantic contract — entry values, declared memory map,
+	// loop-bound annotations — so mutants that corrupt an address
+	// computation or a loop exit land in the range and loop analyses,
+	// not only the structural ones.
+	opts := &binverify.Options{EntryValues: map[isa.Reg]uint32{}, MemMap: w.Regions}
+	args := make(map[isa.Reg]uint32, len(w.Args))
+	argSet := make(map[isa.Reg]bool, len(w.Args))
+	for v, val := range w.Args {
+		r := rm.Reg(v)
+		opts.EntryDefined = append(opts.EntryDefined, r)
+		opts.EntryValues[r] = val
+		args[r] = val
+		argSet[r] = true
+	}
+	if len(w.Prog.LoopBounds) > 0 {
+		opts.LoopBounds = map[uint32]int{}
+		for label, bound := range w.Prog.LoopBounds {
+			if idx, ok := code.Labels[label]; ok {
+				opts.LoopBounds[enc.Addr[idx]] = bound
+			}
+		}
+	}
+	if rep := binverify.Verify(baseline, cfg.Target, opts); !rep.Clean() {
+		return nil, fmt.Errorf("baseline image is not verifier-clean (%d diagnostics)", len(rep.Diags))
+	}
+	init := mem.NewFunc()
+	if w.Init != nil {
+		if err := w.Init(init); err != nil {
+			return nil, fmt.Errorf("init: %w", err)
+		}
+	}
+	return &mutTarget{
+		w: w, rm: rm, enc: enc.Bytes, n: n, baseline: baseline,
+		opts: opts, init: init, args: args, argSet: argSet,
+	}, nil
+}
+
+// mutate writes the seeded single-bit mutant of the golden image into
+// img (which must have the image's length).
+func (t *mutTarget) mutate(seed int64, img []byte) {
+	rng := rand.New(rand.NewSource(seed))
+	copy(img, t.enc)
+	bit := rng.Intn(len(img) * 8)
+	img[bit/8] ^= 1 << (bit % 8)
+}
+
+// newRef builds a reference machine over dec seeded with the initial
+// image and entry arguments, plus — for mseed != 0 — the machine-seed
+// perturbation: every non-argument register gets a seeded random
+// value, and every declared-region byte the workload's Init left
+// unwritten gets a seeded random fill. The baseline is verifier-clean
+// (no reads of may-uninitialized registers, every address proven
+// inside the declared regions), so the golden outcome stays trap-free
+// under every machine seed — but a mutant that reads a stray register
+// or a stray address now sees seed-dependent noise instead of the
+// masking zeros a single fixed initial state offers.
+func (t *mutTarget) newRef(dec []encode.DecInstr, target *config.Target, mseed int64) *refmodel.Machine {
+	image := refmodel.NewMem()
+	for _, pa := range t.init.PageAddrs() {
+		image.WriteBytes(pa, t.init.ReadBytes(pa, 1<<12))
+	}
+	if mseed != 0 {
+		rng := rand.New(rand.NewSource(mseed * 0x9E3779B9))
+		for _, reg := range t.w.Regions {
+			for addr := reg.Lo; addr < reg.Hi; addr++ {
+				if prefetch.IsMMIO(addr) || t.init.Defined(addr, 1) {
+					continue
+				}
+				image.SetByte(addr, byte(rng.Intn(256)))
+			}
+		}
+	}
+	ref := refmodel.New(dec, *target, image)
+	if mseed != 0 {
+		rng := rand.New(rand.NewSource(mseed ^ 0x5DEECE66D))
+		for r := isa.Reg(2); int(r) < isa.NumRegs; r++ {
+			if !t.argSet[r] {
+				ref.SetReg(r, rng.Uint32())
+			}
+		}
+	}
+	for r, val := range t.args {
+		ref.SetReg(r, val)
+	}
+	return ref
+}
+
+// goldenRun executes the pristine binary under one machine seed; a
+// trapped golden run is a harness failure, not a finding.
+func (t *mutTarget) goldenRun(target *config.Target, mseed int64) (*golden, error) {
+	ref := t.newRef(t.baseline, target, mseed)
+	if tr := ref.Run(); tr != nil {
+		return nil, fmt.Errorf("golden run (machine seed %d) trapped: %v", mseed, tr)
+	}
+	return &golden{issue: ref.Issue(), regs: ref.Regs(), mem: ref.Mem, mmio: ref.MMIORegs()}, nil
+}
+
+// classify runs the static gate over a mutated image: the decoder,
+// the stream comparison against the baseline, then the binverify
+// static verifier. For StaticMissed mutants the decoded stream is
+// returned for the differential stage.
+func (t *mutTarget) classify(img []byte, target *config.Target) (StaticOutcome, []encode.DecInstr) {
+	dec, err := encode.Decode(img, tmsim.CodeBase, t.n)
+	switch {
+	case err != nil:
+		return StaticRejected, nil
+	case streamsEqual(dec, t.baseline):
+		return StaticMasked, nil
+	case !binverify.Verify(dec, target, t.opts).Clean():
+		return StaticFlagged, nil
+	}
+	return StaticMissed, dec
+}

@@ -3,15 +3,9 @@ package faults
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
-	"tm3270/internal/binverify"
 	"tm3270/internal/config"
 	"tm3270/internal/encode"
-	"tm3270/internal/isa"
-	"tm3270/internal/regalloc"
-	"tm3270/internal/sched"
-	"tm3270/internal/tmsim"
 	"tm3270/internal/workloads"
 )
 
@@ -155,67 +149,16 @@ func RunStaticCampaign(cfg StaticConfig, w io.Writer) (*StaticResult, error) {
 }
 
 func staticOne(name string, cfg StaticConfig) (*StaticRow, error) {
-	w, err := workloads.ByName(name, *cfg.Params)
+	mt, err := newMutTarget(name, &cfg)
 	if err != nil {
 		return nil, err
 	}
-	code, err := sched.Schedule(w.Prog, *cfg.Target)
-	if err != nil {
-		return nil, err
-	}
-	rm, err := regalloc.Allocate(w.Prog)
-	if err != nil {
-		return nil, err
-	}
-	enc, err := encode.Encode(code, rm, tmsim.CodeBase)
-	if err != nil {
-		return nil, err
-	}
-	n := len(code.Instrs)
-	baseline, err := encode.Decode(enc.Bytes, tmsim.CodeBase, n)
-	if err != nil {
-		return nil, fmt.Errorf("baseline decode: %w", err)
-	}
-	// The full semantic contract — entry values, declared memory map,
-	// loop-bound annotations — so mutants that corrupt an address
-	// computation or a loop exit land in the range and loop analyses,
-	// not only the structural ones.
-	opts := &binverify.Options{EntryValues: map[isa.Reg]uint32{}, MemMap: w.Regions}
-	for v, val := range w.Args {
-		opts.EntryDefined = append(opts.EntryDefined, rm.Reg(v))
-		opts.EntryValues[rm.Reg(v)] = val
-	}
-	if len(w.Prog.LoopBounds) > 0 {
-		opts.LoopBounds = map[uint32]int{}
-		for label, bound := range w.Prog.LoopBounds {
-			if idx, ok := code.Labels[label]; ok {
-				opts.LoopBounds[enc.Addr[idx]] = bound
-			}
-		}
-	}
-	if rep := binverify.Verify(baseline, cfg.Target, opts); !rep.Clean() {
-		return nil, fmt.Errorf("baseline image is not verifier-clean (%d diagnostics)", len(rep.Diags))
-	}
-
-	row := &StaticRow{Workload: name, Bytes: len(enc.Bytes), Mutants: cfg.Mutants}
-	img := make([]byte, len(enc.Bytes))
+	row := &StaticRow{Workload: name, Bytes: len(mt.enc), Mutants: cfg.Mutants}
+	img := make([]byte, len(mt.enc))
 	for seed := int64(1); seed <= int64(cfg.Mutants); seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		copy(img, enc.Bytes)
-		bit := rng.Intn(len(img) * 8)
-		img[bit/8] ^= 1 << (bit % 8)
-
-		dec, err := encode.Decode(img, tmsim.CodeBase, n)
-		switch {
-		case err != nil:
-			row.Counts[StaticRejected]++
-		case streamsEqual(dec, baseline):
-			row.Counts[StaticMasked]++
-		case !binverify.Verify(dec, cfg.Target, opts).Clean():
-			row.Counts[StaticFlagged]++
-		default:
-			row.Counts[StaticMissed]++
-		}
+		mt.mutate(seed, img)
+		o, _ := mt.classify(img, cfg.Target)
+		row.Counts[o]++
 	}
 	return row, nil
 }

@@ -3,8 +3,12 @@
 // through the regular scheduler/allocator/encoder pipeline (so the
 // schedule respects latency, slot, pair and writeback constraints by
 // construction and passes the static binary verifier), terminates (all
-// loops are down-counted with unguarded decrements), and keeps every
-// memory access inside a configured window or the prefetch MMIO block.
+// loops — including loops nested inside other loops — are down-counted
+// with unguarded decrements), and keeps every memory access inside a
+// configured window or the prefetch MMIO block. A handful of hot
+// offsets per program is shared between stores, displacement loads and
+// wide collapsed/super loads, so address collisions between accesses
+// of different widths occur by design rather than by luck.
 //
 // Determinism: the same (seed, target) pair always yields the same
 // program, so any co-simulation divergence is reproducible from its
@@ -49,6 +53,28 @@ func (c *Config) fill() {
 	}
 }
 
+// Info describes the shapes one generated program contains, so tests
+// and campaign reports can prove the generator's coverage instead of
+// assuming it.
+type Info struct {
+	// Ops is the number of random operations emitted.
+	Ops int
+	// Loops is the number of counted loops (outer and inner).
+	Loops int
+	// Nested is the number of loops emitted inside another loop — each
+	// adds a backward branch nested within an outer backward region.
+	Nested int
+	// Collisions is the number of memory accesses aimed at one of the
+	// program's hot offsets (shared with other accesses by design).
+	Collisions int
+	// Collapsed is the subset of Collisions carried by collapsed or
+	// super loads (LD_FRAC8, SUPER_LD32R), whose wide accesses overlap
+	// plain stores at the same offset.
+	Collapsed int
+	// MMIO reports whether the program touches the prefetch MMIO bank.
+	MMIO bool
+}
+
 // gen carries the generation state: the value-register pool doubles as
 // source, destination and guard pool, while control registers (loop
 // counters, loop guards, window base and mask) live outside it so no
@@ -65,10 +91,19 @@ type gen struct {
 	nextTmp int
 	pool    []isa.Opcode
 	lbl     int
+	hot     []uint32 // offsets shared between colliding accesses
+	info    Info
 }
 
 // Generate builds the random program for the configuration.
 func Generate(cfg Config) *prog.Program {
+	p, _ := GenerateInfo(cfg)
+	return p
+}
+
+// GenerateInfo builds the random program and reports which shapes it
+// contains.
+func GenerateInfo(cfg Config) (*prog.Program, Info) {
 	cfg.fill()
 	g := &gen{
 		cfg: cfg,
@@ -90,23 +125,30 @@ func Generate(cfg Config) *prog.Program {
 	if cfg.Target.HasRegionPrefetch {
 		g.mmio = g.b.ImmReg(prefetch.MMIOBase)
 	}
+	// Hot offsets: a handful of 8-byte-aligned displacements that
+	// colliding loads and stores share, so the same bytes are hit by
+	// narrow stores, wide collapsed loads and super loads in one run.
+	for i := 0; i < 3; i++ {
+		g.hot = append(g.hot, uint32(8*g.rng.Intn(126)))
+	}
 
 	nLoops := 1 + g.rng.Intn(3)
 	perRegion := cfg.Target.HasRegionPrefetch
 	budget := cfg.Ops
 	for l := 0; l < nLoops; l++ {
 		g.straightLine(budget / (3 * nLoops))
-		g.loop(budget / (2 * nLoops))
+		g.loop(budget/(2*nLoops), 0)
 	}
 	g.straightLine(budget / 6)
 	if perRegion && g.rng.Intn(2) == 0 {
 		g.mmioOps()
+		g.info.MMIO = true
 	}
 	// Witness stores: make a few register results memory-observable.
 	for i := 0; i < 3; i++ {
 		g.b.St32D(g.base, int32(4*i), g.pick())
 	}
-	return g.b.MustProgram()
+	return g.b.MustProgram(), g.info
 }
 
 // opPool returns every target-supported opcode the generator draws
@@ -166,14 +208,25 @@ func (g *gen) straightLine(n int) {
 	}
 }
 
-// loop emits one counted loop with n body operations. The counter and
-// its guard live outside the value pool, and the decrement is
-// unguarded, so termination is structural.
-func (g *gen) loop(n int) {
+// loop emits one counted loop with n body operations, possibly with a
+// counted inner loop nested in the body (one level deep), so backward
+// branches occur inside other backward regions. The counters and
+// their guards live outside the value pool, the inner counter is
+// re-materialized on every outer iteration, and the decrements are
+// unguarded, so termination is structural at every depth.
+func (g *gen) loop(n, depth int) {
+	g.info.Loops++
+	if depth > 0 {
+		g.info.Nested++
+	}
 	cnt := g.b.ImmReg(uint32(2 + g.rng.Intn(4)))
 	head := g.label("loop")
 	g.b.Label(head)
 
+	innerAt := -1
+	if depth == 0 && n >= 8 && g.rng.Intn(2) == 0 {
+		innerAt = 1 + g.rng.Intn(n/2)
+	}
 	fwd := ""
 	fwdAt := -1
 	if n >= 4 && g.rng.Intn(2) == 0 {
@@ -187,6 +240,9 @@ func (g *gen) loop(n int) {
 			} else {
 				g.b.JmpF(g.pick(), fwd)
 			}
+		}
+		if i == innerAt {
+			g.loop(2+n/4, depth+1)
 		}
 		g.emitRandom()
 	}
@@ -225,9 +281,33 @@ func (g *gen) index() prog.VReg {
 	return idx
 }
 
+// hotOff draws one of the program's hot offsets.
+func (g *gen) hotOff() uint32 { return g.hot[g.rng.Intn(len(g.hot))] }
+
+// hotIndex materializes a hot offset as an index register, so the
+// access collides with the displacement accesses aimed at the same
+// offset. Hot offsets are 8-byte aligned and < 1008, so any access
+// width from base+offset stays inside the window.
+func (g *gen) hotIndex() prog.VReg {
+	idx := g.tmp()
+	g.b.Imm(idx, g.hotOff())
+	return idx
+}
+
+// hotImm replaces about a third of displacement immediates with a hot
+// offset, colliding the access with others at the same address.
+func (g *gen) hotImm(imm uint32) uint32 {
+	if g.rng.Intn(3) == 0 {
+		g.info.Collisions++
+		return g.hotOff()
+	}
+	return imm
+}
+
 // emitRandom draws one opcode from the pool and emits it with legal
 // operands.
 func (g *gen) emitRandom() {
+	g.info.Ops++
 	// Occasionally refresh a value register with a fresh constant so
 	// the pool doesn't collapse into derived values.
 	if g.rng.Intn(8) == 0 {
@@ -244,23 +324,40 @@ func (g *gen) emitRandom() {
 	case info.IsStore:
 		o := g.b.Emit(prog.Op{Opcode: op,
 			Src: [4]prog.VReg{g.base, g.pick()},
-			Imm: uint32(g.rng.Intn(1001))})
+			Imm: g.hotImm(uint32(g.rng.Intn(1001)))})
 		g.guardMaybe(o)
 
 	case op == isa.OpLDFRAC8:
 		// Address operand is the full effective address (no implicit
 		// base): compute base+index explicitly.
+		idx := g.index()
+		if g.rng.Intn(2) == 0 {
+			idx = g.hotIndex()
+			g.info.Collisions++
+			g.info.Collapsed++
+		}
 		addr := g.tmp()
-		g.b.Add(addr, g.base, g.index())
+		g.b.Add(addr, g.base, idx)
 		g.guardMaybe(g.b.LdFrac8(g.pick(), addr, g.pick()))
 
 	case op == isa.OpSUPERLD32R:
+		idx := g.index()
+		if g.rng.Intn(2) == 0 {
+			idx = g.hotIndex()
+			g.info.Collisions++
+			g.info.Collapsed++
+		}
 		d1, d2 := g.pick2()
-		g.guardMaybe(g.b.SuperLd32R(d1, d2, g.base, g.index()))
+		g.guardMaybe(g.b.SuperLd32R(d1, d2, g.base, idx))
 
 	case info.IsLoad && info.NSrc == 2: // indexed loads
+		idx := g.index()
+		if g.rng.Intn(3) == 0 {
+			idx = g.hotIndex()
+			g.info.Collisions++
+		}
 		o := g.b.Emit(prog.Op{Opcode: op,
-			Src:  [4]prog.VReg{g.base, g.index()},
+			Src:  [4]prog.VReg{g.base, idx},
 			Dest: [2]prog.VReg{g.pick()}})
 		g.guardMaybe(o)
 
@@ -268,7 +365,7 @@ func (g *gen) emitRandom() {
 		o := g.b.Emit(prog.Op{Opcode: op,
 			Src:  [4]prog.VReg{g.base},
 			Dest: [2]prog.VReg{g.pick()},
-			Imm:  uint32(g.rng.Intn(1001))})
+			Imm:  g.hotImm(uint32(g.rng.Intn(1001)))})
 		g.guardMaybe(o)
 
 	case info.TwoSlot:

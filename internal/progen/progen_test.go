@@ -31,6 +31,46 @@ func TestDeterministic(t *testing.T) {
 	}
 }
 
+// TestShapesAppear: the widened generator must actually produce the
+// shapes it advertises — nested loops and collapsed-load address
+// collisions — across a modest seed range, and every program carrying
+// them must still compile and pass the static verifier.
+func TestShapesAppear(t *testing.T) {
+	tgt := config.ConfigD()
+	total := progen.Info{}
+	for seed := int64(1); seed <= 40; seed++ {
+		p, info := progen.GenerateInfo(progen.Config{Seed: seed, Target: &tgt, Ops: 64})
+		total.Loops += info.Loops
+		total.Nested += info.Nested
+		total.Collisions += info.Collisions
+		total.Collapsed += info.Collapsed
+		if info.Nested == 0 && info.Collapsed == 0 {
+			continue
+		}
+		// The interesting shapes must not buy legality away.
+		art, err := runner.Compile(p, tgt)
+		if err != nil {
+			t.Fatalf("seed %d (nested=%d collapsed=%d): %v", seed, info.Nested, info.Collapsed, err)
+		}
+		if rep, err := art.VerifyStatic(&tgt, nil); err != nil {
+			t.Errorf("seed %d: static verifier rejects program with nested/colliding shapes: %v\n%v",
+				seed, err, rep)
+		}
+	}
+	if total.Nested == 0 {
+		t.Error("no seed in 1..40 generated a nested loop")
+	}
+	if total.Collapsed == 0 {
+		t.Error("no seed in 1..40 generated a collapsed-load address collision")
+	}
+	if total.Collisions <= total.Collapsed {
+		t.Error("no seed in 1..40 generated a plain load/store address collision")
+	}
+	if total.Nested >= total.Loops {
+		t.Errorf("nested loops %d not a strict subset of loops %d", total.Nested, total.Loops)
+	}
+}
+
 // TestLegalByConstruction: every generated program must compile through
 // the full scheduler/allocator/encoder pipeline on every paper target
 // and pass the whole-program static verifier.
